@@ -1,0 +1,71 @@
+"""Figure 1: the buggy TryTake that fails on a non-empty collection.
+
+Regenerates the paper's opening example: the 2x2 Add/Add vs
+TryTake/TryTake test against the technology-preview BlockingCollection,
+whose TryTake uses a timed lock acquire.
+
+Shape asserted: the check FAILs with a full-history violation whose
+failing operation is a TryTake returning "Fail" while items remain, and
+the failure shrinks to a 2-column test of at most 4 operations (Table
+2's minimal-dimension column for root cause D).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core import FiniteTest, Invocation, SystemUnderTest, check
+from repro.core.report import render_violation
+from repro.structures import BlockingCollection, get_class
+
+FIG1_TEST = FiniteTest.of(
+    [
+        [Invocation("Add", (200,)), Invocation("Add", (400,))],
+        [Invocation("TryTake"), Invocation("TryTake")],
+    ]
+)
+
+
+def _check_version(version, scheduler):
+    subject = SystemUnderTest(
+        lambda rt: BlockingCollection(rt, version), f"BlockingCollection({version})"
+    )
+    return check(subject, FIG1_TEST, scheduler=scheduler)
+
+
+def test_figure1_pre_fails(benchmark, scheduler):
+    result = once(benchmark, _check_version, "pre", scheduler)
+    assert result.failed
+    assert result.violation.kind == "non-linearizable-history"
+    failing_ops = [
+        op
+        for op in result.violation.history.operations
+        if op.invocation.method == "TryTake"
+        and op.response is not None
+        and op.response.value == "Fail"
+    ]
+    assert failing_ops, "the violation must show a TryTake failing"
+    print()
+    print("=== Figure 1 (pre): violation report ===")
+    print(render_violation(result.violation, result.observations))
+    print(
+        f"[fig1] pre: FAIL after {result.phase2_executions} concurrent "
+        f"executions ({result.phase2_seconds * 1000:.1f} ms phase 2)"
+    )
+
+
+def test_figure1_minimal_dimension(benchmark, scheduler):
+    """Table 2's dimension column for root cause D: a 2x2 test suffices."""
+    from repro.core import minimize_failing_test
+
+    entry = get_class("BlockingCollection")
+    subject = SystemUnderTest(entry.factory("pre"), "BlockingCollection(pre)")
+    minimized, result = once(
+        benchmark, minimize_failing_test, subject, FIG1_TEST, scheduler=scheduler
+    )
+    assert result.failed
+    rows, cols = minimized.dimension
+    assert cols == 2
+    assert minimized.total_operations <= 4
+    print(f"\n[fig1] minimal failing test ({rows}x{cols}):")
+    print(minimized.render_matrix())

@@ -1,0 +1,77 @@
+"""Figure 9: the ManualResetEvent CAS typo (root cause A).
+
+Regenerates the paper's deepest bug: under the Wait vs Set;Reset;Set
+test, the preview ManualResetEvent's Wait can block forever because its
+registration CAS recomputes the new state from a *re-read* of the shared
+word.  Shape asserted:
+
+* the pre version FAILs with an erroneous-blocking (stuck) violation on
+  the Wait operation — the generalized-linearizability machinery of
+  Section 2.3 is what catches it;
+* the beta version PASSes the same test exhaustively;
+* every *full* history of the pre version is classically linearizable
+  (Definition 1 alone cannot see the bug — the Section 5.5 claim).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core import SystemUnderTest, check
+from repro.core.report import render_violation
+from repro.core.witness import check_full_history
+from repro.runtime import DFSStrategy
+from repro.structures import get_class
+
+ENTRY = get_class("ManualResetEvent")
+FIG9_TEST = ENTRY.causes[0].witness_test
+
+
+def test_figure9_pre_blocks_forever(benchmark, scheduler):
+    subject = SystemUnderTest(ENTRY.factory("pre"), "ManualResetEvent(pre)")
+    result = once(benchmark, check, subject, FIG9_TEST, scheduler=scheduler)
+    assert result.failed
+    assert result.violation.kind == "non-linearizable-blocking"
+    assert result.violation.pending_op.invocation.method == "Wait"
+    print()
+    print("=== Figure 9 (pre): violation report ===")
+    print(render_violation(result.violation, result.observations))
+
+
+def test_figure9_beta_passes(benchmark, scheduler):
+    subject = SystemUnderTest(ENTRY.factory("beta"), "ManualResetEvent(beta)")
+    result = once(benchmark, check, subject, FIG9_TEST, scheduler=scheduler)
+    assert result.passed
+    print(
+        f"\n[fig9] beta: PASS over {result.phase2_executions} concurrent "
+        f"executions ({result.phase2_stuck} stuck, all justified)"
+    )
+
+
+def test_figure9_invisible_to_classical_linearizability(benchmark, scheduler):
+    """Section 5.5: a Def.-1-only checker reports nothing on this bug."""
+    from repro.core import TestHarness
+
+    subject = SystemUnderTest(ENTRY.factory("pre"), "ManualResetEvent(pre)")
+
+    def classical_only():
+        full_violations = 0
+        stuck_seen = 0
+        with TestHarness(subject, scheduler=scheduler) as harness:
+            observations, _ = harness.run_serial(FIG9_TEST)
+            for history, _outcome in harness.explore_concurrent(
+                FIG9_TEST, DFSStrategy(preemption_bound=2)
+            ):
+                if history.stuck:
+                    stuck_seen += 1
+                elif check_full_history(history, observations) is None:
+                    full_violations += 1
+        return full_violations, stuck_seen
+
+    full_violations, stuck_seen = once(benchmark, classical_only)
+    assert full_violations == 0, "Def. 1 alone must find nothing"
+    assert stuck_seen > 0, "the buggy blocking executions exist"
+    print(
+        f"\n[fig9] classical check: 0 violations over all full histories; "
+        f"{stuck_seen} stuck executions only the generalized check rejects"
+    )

@@ -1,0 +1,96 @@
+"""Microbenchmarks of the model-checking substrate itself.
+
+Grounds the cost model quoted in EXPERIMENTS.md: what one execution
+costs (worker handoffs dominate), how serial mode compares to concurrent
+mode, and how the cost scales with thread count.  These are the numbers
+that make phase 1's cheapness (Section 5.4) concrete: a serial execution
+is a handful of baton passes, a concurrent one pays per scheduling
+point explored.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import DFSStrategy, RandomStrategy, Runtime
+
+
+def _program(runtime, n_threads, ops_per_thread):
+    def factory():
+        cell = runtime.atomic(0, "cell")
+
+        def body():
+            for _ in range(ops_per_thread):
+                cell.add(1)
+
+        return [body] * n_threads
+
+    return factory
+
+
+def test_single_execution_cost(benchmark, scheduler):
+    """One 2-thread, 6-op execution, repeated: the per-execution floor."""
+    runtime = Runtime(scheduler)
+    factory = _program(runtime, 2, 3)
+
+    def run_once():
+        scheduler.execute(factory(), RandomStrategy(executions=1, seed=1))
+
+    benchmark.pedantic(run_once, rounds=200, iterations=1)
+
+
+def test_serial_vs_concurrent_exploration(benchmark, scheduler):
+    """Exhaustively explore the same program in both modes."""
+    import time
+
+    runtime = Runtime(scheduler)
+
+    def run():
+        rows = []
+        for serial in (True, False):
+            factory = _program(runtime, 2, 2)
+            strategy = DFSStrategy(preemption_bound=None if serial else 2)
+            count = 0
+            t0 = time.perf_counter()
+            for _outcome in scheduler.explore(factory, strategy, serial=serial):
+                count += 1
+            rows.append((serial, count, time.perf_counter() - t0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== substrate: serial vs concurrent exploration (2 threads x 2 raw atomic adds) ===")
+    for serial, count, seconds in rows:
+        mode = "serial" if serial else "concurrent (PB=2)"
+        per = seconds / count * 1e6
+        print(f"  {mode:18s}: {count:5d} executions in {seconds * 1000:7.1f} ms "
+              f"({per:6.0f} us each)")
+    serial_count = rows[0][1]
+    concurrent_count = rows[1][1]
+    assert serial_count < concurrent_count  # phase 1 is the smaller space
+
+
+def test_scaling_with_thread_count(benchmark, scheduler):
+    """Random-walk throughput as logical threads grow."""
+    import time
+
+    runtime = Runtime(scheduler)
+
+    def run():
+        rows = []
+        for n_threads in (1, 2, 3, 4):
+            factory = _program(runtime, n_threads, 2)
+            strategy = RandomStrategy(executions=200, seed=1)
+            t0 = time.perf_counter()
+            while strategy.more():
+                scheduler.execute(factory(), strategy)
+            rows.append((n_threads, time.perf_counter() - t0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("=== substrate: 200 random executions by thread count ===")
+    for n_threads, seconds in rows:
+        print(f"  {n_threads} threads: {seconds * 1000:7.1f} ms "
+              f"({seconds / 200 * 1e6:6.0f} us/execution)")
+    # Cost grows with threads (more handoffs) but stays in the same order
+    # of magnitude — the substrate does not fall off a cliff.
+    assert rows[-1][1] < rows[0][1] * 25

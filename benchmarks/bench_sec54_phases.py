@@ -1,0 +1,124 @@
+"""Section 5.4: runtime of the two phases.
+
+The paper's measurements establish two shapes that the whole Line-Up
+design leans on:
+
+1. phase 1 (serial enumeration / specification synthesis) is *cheap*
+   relative to phase 2 (concurrent exploration) on the same test — "the
+   automatic enumeration of a sequential specification is very cheap,
+   which is a key fact exploited by the Line-Up algorithm";
+2. failing testcases complete *faster* than passing ones ("as usual,
+   testcases fail much quicker than they pass"), because the checker
+   stops at the first violation while a pass must exhaust the search.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import once
+
+from repro.core import (
+    CheckConfig,
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    TestHarness,
+    check,
+)
+from repro.structures import get_class
+from repro.structures.counters import BuggyCounter1, Counter
+
+INC = Invocation("inc")
+GET = Invocation("get")
+
+TEST_3X3 = FiniteTest.of(
+    [[INC, GET, INC], [INC, INC, GET], [GET, INC, INC]]
+)
+
+
+def test_phase1_much_cheaper_than_phase2(benchmark, scheduler):
+    subject = SystemUnderTest(Counter, "Counter")
+    cfg = CheckConfig(max_concurrent_executions=8000)
+
+    def run():
+        return check(subject, TEST_3X3, cfg, scheduler=scheduler)
+
+    result = once(benchmark, run)
+    assert result.phase1.executions == 1680
+    per_serial = result.phase1_seconds / result.phase1.executions
+    per_concurrent = result.phase2_seconds / max(1, result.phase2_executions)
+    print()
+    print("=== Section 5.4: phase runtimes (3x3 counter test) ===")
+    print(
+        f"phase 1: {result.phase1.executions} serial executions in "
+        f"{result.phase1_seconds * 1000:.0f} ms ({per_serial * 1e6:.0f} us each)"
+    )
+    print(
+        f"phase 2: {result.phase2_executions} concurrent executions in "
+        f"{result.phase2_seconds * 1000:.0f} ms ({per_concurrent * 1e6:.0f} us each)"
+    )
+    # Phase 2 had to be capped while phase 1 ran to exhaustion — the
+    # paper's asymmetry.  Per-execution phase 2 is also slower (finer
+    # scheduling plus the witness search).
+    assert result.phase2_executions >= result.phase1.executions
+    assert result.phase1_seconds < result.phase2_seconds
+
+
+def test_failing_tests_finish_faster(benchmark, scheduler):
+    test = FiniteTest.of([[INC, GET], [INC, INC]])
+
+    def run_both():
+        t0 = time.perf_counter()
+        failing = check(
+            SystemUnderTest(BuggyCounter1, "buggy"), test, scheduler=scheduler
+        )
+        fail_seconds = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        passing = check(
+            SystemUnderTest(Counter, "ok"), test, scheduler=scheduler
+        )
+        pass_seconds = time.perf_counter() - t1
+        return failing, fail_seconds, passing, pass_seconds
+
+    failing, fail_seconds, passing, pass_seconds = once(benchmark, run_both)
+    assert failing.failed and passing.passed
+    print()
+    print("=== Section 5.4: fail vs pass wall time (same 2x2 test) ===")
+    print(f"failing testcase: {fail_seconds * 1000:7.1f} ms "
+          f"({failing.phase2_executions} executions before the violation)")
+    print(f"passing testcase: {pass_seconds * 1000:7.1f} ms "
+          f"({passing.phase2_executions} executions to exhaust the search)")
+    assert failing.phase2_executions < passing.phase2_executions
+    assert fail_seconds < pass_seconds
+
+
+def test_specification_synthesis_is_cheap_across_classes(benchmark, scheduler):
+    """Phase-1 cost per class on a representative 2x2 test (Table 2's
+    'phase 1' columns): all in the tens of milliseconds on this substrate."""
+
+    def run():
+        rows = []
+        for name, column in [
+            ("ConcurrentQueue", [Invocation("Enqueue", (10,)), Invocation("TryDequeue")]),
+            ("ConcurrentStack", [Invocation("Push", (10,)), Invocation("TryPop")]),
+            ("ConcurrentDictionary", [Invocation("TryAdd", (10,)), Invocation("Count")]),
+            ("ConcurrentBag", [Invocation("Add", (10,)), Invocation("TryTake")]),
+        ]:
+            entry = get_class(name)
+            subject = SystemUnderTest(entry.factory("beta"), name)
+            test = FiniteTest.of([column, column])
+            t0 = time.perf_counter()
+            with TestHarness(subject, scheduler=scheduler) as harness:
+                observations, stats = harness.run_serial(test)
+            rows.append((name, stats.executions, len(observations),
+                         time.perf_counter() - t0))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print("=== Section 5.4: phase-1 cost per class (2x2 tests) ===")
+    print(f"{'class':24s} {'serial exec':>11s} {'histories':>9s} {'time':>9s}")
+    for name, executions, histories, seconds in rows:
+        print(f"{name:24s} {executions:11d} {histories:9d} {seconds * 1000:7.1f}ms")
+        assert seconds < 2.0  # synthesis stays cheap

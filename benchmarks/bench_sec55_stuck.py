@@ -1,0 +1,113 @@
+"""Section 5.5: relevance of generalized (blocking-aware) linearizability.
+
+The paper's data points:
+
+* random tests get stuck (e.g. acquiring a semaphore more often than
+  releasing it), so phase 1 sometimes records *fewer* than the
+  combinatorial 1680 full histories for a 3x3 matrix;
+* 5 of the 13 classes exhibited deadlocking tests and "could not have
+  been tested with a methodology that can not handle them";
+* the Fig. 9 bug (root cause A) is invisible without stuck-history
+  checking.
+
+This bench regenerates each of those observations.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.core import FiniteTest, Invocation, SystemUnderTest, TestHarness
+from repro.core.testcase import sample_tests
+from repro.structures import REGISTRY, get_class
+
+#: Classes whose semantics can block.  The paper counts 5 of 13 for its
+#: alphabets; our TaskCompletionSource alphabet includes the blocking
+#: ``Wait`` (Table 1 lists it), which makes it a sixth.
+EXPECTED_BLOCKING = {
+    "ManualResetEvent",
+    "SemaphoreSlim",
+    "CountdownEvent",
+    "BlockingCollection",
+    "Barrier",
+    "TaskCompletionSource",
+}
+
+
+def test_blocking_classes_counted(benchmark, scheduler):
+    """How many classes produce stuck serial histories under random 2x3
+    tests over their own alphabet — the paper's 5-of-13."""
+
+    def survey():
+        blocking = set()
+        for entry in REGISTRY:
+            subject = SystemUnderTest(entry.factory("beta"), entry.name)
+            with TestHarness(subject, scheduler=scheduler) as harness:
+                for test in sample_tests(
+                    list(entry.invocations), rows=2, cols=3, k=6, seed=11,
+                    init=entry.init,
+                ):
+                    _obs, stats = harness.run_serial(test, max_executions=400)
+                    if stats.stuck_histories:
+                        blocking.add(entry.name)
+                        break
+        return blocking
+
+    blocking = once(benchmark, survey)
+    print()
+    print("=== Section 5.5: classes with stuck (deadlocking) tests ===")
+    print(f"{len(blocking)} of {len(REGISTRY)} classes block: {sorted(blocking)}")
+    print("(the paper counts 5; our TaskCompletionSource alphabet includes")
+    print(" its blocking Wait, adding a sixth)")
+    assert blocking == EXPECTED_BLOCKING
+
+
+def test_stuck_tests_record_fewer_full_histories(benchmark, scheduler):
+    """A 3x3 semaphore test that can deadlock yields < 1680 full serial
+    histories — the paper's observation about the history counts."""
+    entry = get_class("SemaphoreSlim")
+    wait = Invocation("Wait")
+    release = Invocation("Release")
+    # Wait-heavy matrix: many serial prefixes deadlock.
+    test = FiniteTest.of(
+        [[wait, wait, release], [wait, release, wait], [wait, wait, wait]]
+    )
+    subject = SystemUnderTest(entry.factory("beta"), "SemaphoreSlim")
+
+    def run():
+        with TestHarness(subject, scheduler=scheduler) as harness:
+            return harness.run_serial(test)
+
+    observations, stats = once(benchmark, run)
+    print()
+    print("=== Section 5.5: serial history counts under blocking ===")
+    print(
+        f"3x3 semaphore test: {len(observations.full)} full + "
+        f"{len(observations.stuck)} stuck serial histories "
+        f"(combinatorial maximum is 1680)"
+    )
+    assert len(observations.full) < 1680
+    assert observations.stuck
+
+
+def test_figure9_needs_stuck_checking(benchmark, scheduler):
+    """Root cause A only manifests as a stuck-history violation."""
+    from repro.core import CheckConfig, check
+
+    entry = get_class("ManualResetEvent")
+    cause = entry.causes[0]
+    subject = SystemUnderTest(entry.factory("pre"), "ManualResetEvent(pre)")
+    result = once(
+        benchmark,
+        check,
+        subject,
+        cause.witness_test,
+        CheckConfig(stop_at_first_violation=False),
+        scheduler=scheduler,
+    )
+    assert result.failed
+    kinds = {violation.kind for violation in result.violations}
+    print()
+    print("=== Section 5.5: Fig. 9 violation kinds ===")
+    print(f"violations found: {len(result.violations)}, kinds: {sorted(kinds)}")
+    assert kinds == {"non-linearizable-blocking"}

@@ -1,0 +1,82 @@
+"""Table 1: the classes and methods checked.
+
+Regenerates the inventory table — class name, lines of code of our port,
+and the invocation alphabet — and benchmarks the cost of instantiating
+every class under the runtime (the fixed per-execution overhead of a
+checking campaign).
+
+Shape asserted: 13 classes, ~90 checkable methods in total (the paper
+reports exactly 90 across the same classes).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+
+from conftest import once
+
+from repro.runtime import DFSStrategy, Runtime
+from repro.structures import REGISTRY
+
+_MODULES = {
+    "Lazy": "lazy",
+    "ManualResetEvent": "manual_reset_event",
+    "SemaphoreSlim": "semaphore_slim",
+    "CountdownEvent": "countdown_event",
+    "ConcurrentDictionary": "concurrent_dictionary",
+    "ConcurrentQueue": "concurrent_queue",
+    "ConcurrentStack": "concurrent_stack",
+    "ConcurrentLinkedList": "concurrent_linked_list",
+    "BlockingCollection": "blocking_collection",
+    "ConcurrentBag": "concurrent_bag",
+    "TaskCompletionSource": "task_completion_source",
+    "CancellationTokenSource": "cancellation",
+    "Barrier": "barrier",
+}
+
+
+def _loc_of(entry) -> int:
+    module = importlib.import_module(f"repro.structures.{_MODULES[entry.name]}")
+    return len(inspect.getsource(module).splitlines())
+
+
+def test_table1_inventory(benchmark, scheduler):
+    def build_rows():
+        rows = []
+        for entry in REGISTRY:
+            rows.append(
+                (
+                    entry.name,
+                    _loc_of(entry),
+                    entry.method_count,
+                    ", ".join(str(i) for i in entry.invocations[:4])
+                    + (" ..." if entry.method_count > 4 else ""),
+                )
+            )
+        return rows
+
+    rows = once(benchmark, build_rows)
+    total_methods = sum(r[2] for r in rows)
+    assert len(rows) == 13
+    assert 80 <= total_methods <= 100  # the paper checks 90 methods
+    print()
+    print("=== Table 1: classes and methods checked ===")
+    print(f"{'Class':26s} {'LOC':>5s} {'methods':>7s}  alphabet")
+    for name, loc, methods, alphabet in rows:
+        print(f"{name:26s} {loc:5d} {methods:7d}  {alphabet}")
+    print(f"{'TOTAL':26s} {sum(r[1] for r in rows):5d} {total_methods:7d}")
+
+
+def test_instantiation_cost(benchmark, scheduler):
+    """Fixed cost of one fresh instance of every class per execution."""
+    runtime = Runtime(scheduler)
+
+    def instantiate_all():
+        def body():
+            for entry in REGISTRY:
+                entry.make(runtime, "beta")
+
+        scheduler.execute([body], DFSStrategy())
+
+    benchmark.pedantic(instantiate_all, rounds=20, iterations=1)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark prints the table/figure rows it regenerates (run pytest
+with ``-s`` to see them) and asserts the qualitative *shape* of the
+paper's result — who wins, what fails, where the counts land — rather
+than absolute numbers, since our substrate is a Python simulator rather
+than the authors' 8-core Xeon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import Scheduler
+
+
+@pytest.fixture(scope="session")
+def scheduler() -> Scheduler:
+    sched = Scheduler()
+    yield sched
+    sched.shutdown()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    The checking workloads are deterministic and heavy; multiple rounds
+    would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A miniature Table 2: the RandomCheck campaign over all 13 classes.
+
+Runs the paper's evaluation methodology (Section 5.1) at laptop scale:
+for every class of Table 1 in both library vintages, a random sample of
+3x3 tests is checked, the curated minimal witnesses are re-validated,
+and the results are printed in the shape of the paper's Table 2.
+
+The full-scale version (more samples, exhaustive phase 2) lives in
+``benchmarks/bench_table2_lineup.py``; this example trades sample size
+for a fast demonstration.
+
+Run:  python examples/random_campaign.py            (~1-2 minutes)
+"""
+
+import time
+
+from repro import CheckConfig
+from repro.core.campaign import campaign_row, render_table2
+from repro.runtime import Scheduler
+from repro.structures import REGISTRY, ROOT_CAUSES
+
+
+def main() -> None:
+    config = CheckConfig(
+        phase2_strategy="random",
+        phase2_executions=150,
+        max_serial_executions=1800,
+    )
+    scheduler = Scheduler()
+    rows = []
+    start = time.time()
+    try:
+        for entry in REGISTRY:
+            for version in ("pre", "beta"):
+                row = campaign_row(
+                    entry,
+                    version,
+                    samples=4,
+                    rows=3,
+                    cols=3,
+                    seed=1,
+                    config=config,
+                    scheduler=scheduler,
+                )
+                rows.append(row)
+                print(
+                    f"  {entry.name}({version}): {row.tests_failed}/{row.tests_run} "
+                    f"random tests failed, causes {','.join(row.causes_found) or '-'}"
+                )
+    finally:
+        scheduler.shutdown()
+
+    print()
+    print(render_table2(rows))
+    print()
+    print("Root-cause legend:")
+    for tag in sorted(ROOT_CAUSES):
+        cause = ROOT_CAUSES[tag]
+        print(f"  {tag} [{cause.category}] {cause.summary}")
+    print()
+    print(f"total wall time: {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Using Line-Up as a CI regression guard via saved observation files.
+
+The observation file is more than a debugging aid: it is a *persisted
+specification*.  A team can record the serial behaviour of a
+known-good version once, commit the XML, and have CI check every new
+build against it — catching both linearizability regressions and
+sequential behaviour changes, without anybody writing a spec.
+
+This script plays both sides:
+
+1. record observation files for a few regression tests from the "good"
+   (beta) BlockingCollection;
+2. gate a "new build" against them — first the same beta build (passes),
+   then a build that regressed to the preview's timed-lock TryTake
+   (fails, with the usual replayable report).
+
+Run:  python examples/regression_guard.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    CheckConfig,
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    TestHarness,
+    check_against_observations,
+)
+from repro.core.observations import load_observations, save_observations
+from repro.structures import BlockingCollection
+
+
+def _inv(method, *args):
+    return Invocation(method, args)
+
+
+REGRESSION_TESTS = {
+    "add-taketake": FiniteTest.of(
+        [[_inv("Add", 200), _inv("Add", 400)], [_inv("TryTake"), _inv("TryTake")]]
+    ),
+    "complete-take": FiniteTest.of(
+        [[_inv("Add", 1), _inv("CompleteAdding")], [_inv("Take"), _inv("IsCompleted")]]
+    ),
+    "producer-consumer": FiniteTest.of(
+        [[_inv("Add", 1)], [_inv("Take")]]
+    ),
+}
+
+
+def record_specs(directory: Path) -> None:
+    """Step 1: persist the known-good serial behaviour."""
+    golden = SystemUnderTest(
+        lambda rt: BlockingCollection(rt, "beta"), "BlockingCollection@good"
+    )
+    with TestHarness(golden) as harness:
+        for name, test in REGRESSION_TESTS.items():
+            observations, stats = harness.run_serial(test)
+            path = directory / f"{name}.xml"
+            save_observations(observations, str(path))
+            print(
+                f"recorded {name}: {len(observations)} serial histories "
+                f"({stats.executions} executions) -> {path.name}"
+            )
+
+
+def gate_build(directory: Path, factory, label: str) -> bool:
+    """Step 2: the CI gate — check a build against the saved specs."""
+    print(f"\ngating {label} ...")
+    all_ok = True
+    subject = SystemUnderTest(factory, label)
+    with TestHarness(subject) as harness:
+        for name, test in REGRESSION_TESTS.items():
+            spec = load_observations(str(directory / f"{name}.xml"))
+            result = check_against_observations(
+                harness, test, spec, CheckConfig()
+            )
+            print(f"  {name:18s}: {result.verdict}")
+            if result.failed:
+                all_ok = False
+                print(f"    -> {result.violation.describe()}")
+    return all_ok
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        record_specs(directory)
+
+        ok = gate_build(
+            directory, lambda rt: BlockingCollection(rt, "beta"), "build-42 (same)"
+        )
+        assert ok, "the unchanged build must pass its own spec"
+
+        ok = gate_build(
+            directory,
+            lambda rt: BlockingCollection(rt, "pre"),
+            "build-43 (regressed TryTake)",
+        )
+        assert not ok, "the regressed build must be caught"
+        print("\nregression caught before merge — that is the CI story.")
+
+
+if __name__ == "__main__":
+    main()

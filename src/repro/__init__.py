@@ -1,0 +1,101 @@
+"""Line-Up: a complete and automatic linearizability checker.
+
+A Python reproduction of Burckhardt, Dern, Musuvathi & Tan (PLDI 2010).
+Line-Up decides whether a concurrent component is *deterministically
+linearizable* — linearizable with respect to some deterministic
+sequential specification — fully automatically: phase 1 synthesizes the
+specification by enumerating the component's serial behaviours, phase 2
+model-checks the concurrent behaviours against it.  Any reported
+violation is a proof of non-linearizability (no false alarms).
+
+Quick start::
+
+    from repro import check, CheckConfig, FiniteTest, Invocation, SystemUnderTest
+    from repro.structures import ConcurrentQueue
+
+    test = FiniteTest.of([
+        [Invocation("Enqueue", (200,)), Invocation("Enqueue", (400,))],
+        [Invocation("TryDequeue"), Invocation("TryDequeue")],
+    ])
+    subject = SystemUnderTest(lambda rt: ConcurrentQueue(rt, "pre"), "queue")
+    result = check(subject, test)
+    print(result.verdict)          # FAIL — the Figure 1 bug
+
+Packages:
+
+* :mod:`repro.core` — histories, specifications, the two-phase checker,
+  Auto/RandomCheck, observation files and reports.
+* :mod:`repro.runtime` — the stateless model-checking scheduler and the
+  instrumented primitives (the CHESS substitute).
+* :mod:`repro.structures` — the 13 .NET concurrency classes of Table 1
+  in buggy ("pre") and fixed ("beta") vintages.
+* :mod:`repro.analysis` — the comparison checkers of Section 5.6
+  (happens-before races, conflict serializability).
+"""
+
+from repro.core import (
+    DOTNET_POLICIES,
+    CampaignResult,
+    CheckConfig,
+    CheckResult,
+    FiniteTest,
+    Invocation,
+    ObservationSet,
+    Response,
+    SystemUnderTest,
+    TestHarness,
+    InterferencePolicy,
+    InterferenceRule,
+    Violation,
+    auto_check,
+    check,
+    check_against_observations,
+    check_relaxed,
+    check_with_harness,
+    minimize_failing_test,
+    random_check,
+    render_check_result,
+    render_violation,
+)
+from repro.runtime import (
+    DFSStrategy,
+    IterativeDFSStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+    Runtime,
+    Scheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignResult",
+    "CheckConfig",
+    "CheckResult",
+    "DFSStrategy",
+    "DOTNET_POLICIES",
+    "InterferencePolicy",
+    "InterferenceRule",
+    "IterativeDFSStrategy",
+    "FiniteTest",
+    "Invocation",
+    "ObservationSet",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "Response",
+    "Runtime",
+    "Scheduler",
+    "SystemUnderTest",
+    "TestHarness",
+    "Violation",
+    "__version__",
+    "auto_check",
+    "check",
+    "check_against_observations",
+    "check_relaxed",
+    "check_with_harness",
+    "minimize_failing_test",
+    "random_check",
+    "render_check_result",
+    "render_violation",
+]

@@ -1,0 +1,120 @@
+"""Lock-order (deadlock-potential) analysis over explored executions.
+
+A companion to the Section 5.6 comparison checkers: the classic
+lock-order heuristic builds a graph with an edge L1 → L2 whenever some
+thread acquires L2 while holding L1; a cycle means two threads can take
+the locks in opposite orders — a *potential* deadlock, even if the
+explored executions never actually deadlocked.
+
+Like conflict-serializability (and unlike Line-Up), this is a heuristic
+with false positives: gate-ordered acquisitions (e.g. every whole-map
+operation taking the stripe locks in index order after a designated
+first lock) can produce cycles that no execution can realize.  The tests
+demonstrate both the true-positive and the false-positive side, which is
+exactly the methodological point of the paper's comparison section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.runtime import AccessRecord
+
+__all__ = ["LockOrderAnalyzer", "LockOrderReport"]
+
+
+@dataclass(frozen=True)
+class LockOrderReport:
+    """Result of the lock-order analysis."""
+
+    cycle: tuple[str, ...]  #: lock names forming a cycle, or ()
+    edges: int
+    locks: int
+
+    @property
+    def deadlock_potential(self) -> bool:
+        return bool(self.cycle)
+
+    def describe(self) -> str:
+        if not self.cycle:
+            return f"no lock-order inversions ({self.locks} locks, {self.edges} edges)"
+        path = " -> ".join(self.cycle + (self.cycle[0],))
+        return f"potential deadlock: {path}"
+
+
+class LockOrderAnalyzer:
+    """Accumulates acquire/release events across many executions."""
+
+    def __init__(self) -> None:
+        #: edges between lock location ids, with a representative name.
+        self._edges: dict[int, set[int]] = {}
+        self._names: dict[int, str] = {}
+
+    def feed_execution(self, accesses: Iterable) -> None:
+        """Process one execution's access log."""
+        held: dict[int, list[int]] = {}  # thread -> stack of lock locations
+        for record in accesses:
+            if not isinstance(record, AccessRecord):
+                continue
+            if record.kind == "acquire":
+                self._names[record.location] = record.name
+                stack = held.setdefault(record.thread, [])
+                for outer in stack:
+                    if outer != record.location:
+                        self._edges.setdefault(outer, set()).add(record.location)
+                stack.append(record.location)
+            elif record.kind == "release":
+                stack = held.get(record.thread, [])
+                if record.location in stack:
+                    stack.remove(record.location)
+
+    def report(self) -> LockOrderReport:
+        """Check the accumulated graph for a cycle."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        nodes = set(self._edges) | {
+            succ for targets in self._edges.values() for succ in targets
+        }
+        colour = {node: WHITE for node in nodes}
+        parent: dict[int, int | None] = {}
+        edge_count = sum(len(targets) for targets in self._edges.values())
+
+        def dfs(start: int) -> tuple[int, ...] | None:
+            stack = [(start, iter(sorted(self._edges.get(start, ()))))]
+            colour[start] = GREY
+            parent[start] = None
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if colour[succ] == GREY:
+                        cycle = [node]
+                        walk = node
+                        while walk != succ:
+                            walk = parent[walk]  # type: ignore[assignment]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return tuple(cycle)
+                    if colour[succ] == WHITE:
+                        colour[succ] = GREY
+                        parent[succ] = node
+                        stack.append(
+                            (succ, iter(sorted(self._edges.get(succ, ()))))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+            return None
+
+        for node in sorted(nodes):
+            if colour[node] == WHITE:
+                cycle = dfs(node)
+                if cycle is not None:
+                    return LockOrderReport(
+                        cycle=tuple(self._names.get(l, str(l)) for l in cycle),
+                        edges=edge_count,
+                        locks=len(nodes),
+                    )
+        return LockOrderReport(cycle=(), edges=edge_count, locks=len(nodes))

@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Line-Up as a tool, mirroring how the paper's authors drove it:
+
+* ``list`` — print the Table 1 inventory (classes, versions, alphabets).
+* ``check`` — run the two-phase check of one finite test against a
+  registry class, e.g.::
+
+      python -m repro check ConcurrentQueue --version pre \\
+          --test "Enqueue(200); TryDequeue | Enqueue(400); TryDequeue"
+
+  Columns are separated by ``|``, operations by ``;``, and arguments are
+  Python literals.  ``--cause D`` uses the curated minimal witness of a
+  Table 2 root cause instead of ``--test``.
+* ``campaign`` — the RandomCheck campaign (a Table 2 row) for one class
+  or every class.
+* ``observations`` — run phase 1 only and write the Fig. 7 observation
+  file.
+
+Exit status: 0 = PASS, 1 = violation found, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Sequence
+
+from repro.core import (
+    DOTNET_POLICIES,
+    CheckConfig,
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    TestHarness,
+    check,
+    check_relaxed,
+    minimize_failing_test,
+    render_check_result,
+)
+from repro.core.campaign import campaign_row, render_table2
+from repro.core.observations import observations_to_xml
+from repro.runtime import Scheduler
+from repro.structures import REGISTRY, ROOT_CAUSES, get_class
+
+__all__ = ["main"]
+
+
+class CliError(Exception):
+    """A user-facing command-line error."""
+
+
+def parse_invocation(text: str) -> Invocation:
+    """Parse ``Method(arg, ...)`` (or bare ``Method``) into an Invocation."""
+    text = text.strip()
+    if not text:
+        raise CliError("empty invocation")
+    try:
+        node = ast.parse(text, mode="eval").body
+    except SyntaxError as exc:
+        raise CliError(f"cannot parse invocation {text!r}: {exc}") from exc
+    if isinstance(node, ast.Name):
+        return Invocation(node.id)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.keywords:
+            raise CliError(f"keyword arguments not supported in {text!r}")
+        try:
+            args = tuple(ast.literal_eval(arg) for arg in node.args)
+        except ValueError as exc:
+            raise CliError(
+                f"arguments of {text!r} must be literals: {exc}"
+            ) from exc
+        return Invocation(node.func.id, args)
+    raise CliError(f"cannot parse invocation {text!r}")
+
+
+def parse_test(
+    matrix: str, init: str | None = None, final: str | None = None
+) -> FiniteTest:
+    """Parse a test matrix: ``op; op | op`` (columns ``|``, ops ``;``)."""
+    columns = []
+    for column_text in matrix.split("|"):
+        ops = [p for p in (piece.strip() for piece in column_text.split(";")) if p]
+        columns.append([parse_invocation(op) for op in ops])
+    if not any(columns):
+        raise CliError("the test matrix has no operations")
+
+    def parse_sequence(text: str | None) -> list[Invocation]:
+        if not text:
+            return []
+        return [
+            parse_invocation(op)
+            for op in (piece.strip() for piece in text.split(";"))
+            if op
+        ]
+
+    return FiniteTest.of(
+        columns, init=parse_sequence(init), final=parse_sequence(final)
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> CheckConfig:
+    return CheckConfig(
+        preemption_bound=None if args.preemption_bound < 0 else args.preemption_bound,
+        phase2_strategy=args.strategy,
+        phase2_executions=args.schedules,
+        seed=args.seed,
+        max_concurrent_executions=args.max_executions,
+    )
+
+
+def _add_check_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version", choices=("pre", "beta"), default="beta",
+        help="library vintage to test (default: beta)",
+    )
+    parser.add_argument(
+        "--strategy", choices=("dfs", "iterative", "random", "pct"), default="dfs",
+        help="phase-2 exploration strategy (default: dfs)",
+    )
+    parser.add_argument(
+        "--preemption-bound", type=int, default=2, metavar="N",
+        help="phase-2 preemption bound; -1 for unbounded (default: 2)",
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=2000, metavar="N",
+        help="schedules to sample when --strategy random (default: 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-executions", type=int, default=20_000, metavar="N",
+        help="phase-2 execution cap (default: 20000)",
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print(f"{'class':26s} {'methods':>7s}  root causes (pre / beta)")
+    for entry in REGISTRY:
+        pre = ",".join(c.tag for c in entry.causes_for("pre")) or "-"
+        beta = ",".join(c.tag for c in entry.causes_for("beta")) or "-"
+        print(f"{entry.name:26s} {entry.method_count:7d}  {pre} / {beta}")
+        if args.verbose:
+            for invocation in entry.invocations:
+                print(f"{'':36s}{invocation}")
+    print()
+    print("root causes:")
+    for tag in sorted(ROOT_CAUSES):
+        cause = ROOT_CAUSES[tag]
+        print(f"  {tag} [{cause.category}] {cause.summary}")
+    return 0
+
+
+def _resolve_test(args: argparse.Namespace, entry) -> FiniteTest:
+    if args.cause:
+        cause = next((c for c in entry.causes if c.tag == args.cause), None)
+        if cause is None or cause.witness_test is None:
+            raise CliError(
+                f"{entry.name} has no curated test for cause {args.cause!r}"
+            )
+        return cause.witness_test
+    if not args.test:
+        raise CliError("provide --test or --cause")
+    return parse_test(args.test, args.init, args.final)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    entry = get_class(args.cls)
+    test = _resolve_test(args, entry)
+    subject = SystemUnderTest(
+        entry.factory(args.version), f"{entry.name}({args.version})"
+    )
+    print(f"Checking {entry.name}({args.version}) on:")
+    print(test.render_matrix())
+    print()
+    if args.relaxed:
+        # Section 6 extension: nondeterministic specs plus the documented
+        # .NET interference policies for this class (if any).
+        with TestHarness(subject) as harness:
+            result = check_relaxed(
+                harness,
+                test,
+                _config_from_args(args),
+                DOTNET_POLICIES.get(entry.name),
+            )
+        print(render_check_result(result))
+        return 1 if result.failed else 0
+    result = check(subject, test, _config_from_args(args))
+    if result.failed and args.minimize:
+        print("minimizing the failing test ...")
+        minimized, result = minimize_failing_test(
+            subject, test, config=_config_from_args(args)
+        )
+        print(f"minimal failing dimension: {minimized.dimension}")
+        print()
+    print(render_check_result(result))
+    return 1 if result.failed else 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    entries = REGISTRY if args.cls == "all" else (get_class(args.cls),)
+    versions = args.versions.split(",")
+    config = CheckConfig(
+        phase2_strategy="random",
+        phase2_executions=args.schedules,
+        seed=args.seed,
+        max_serial_executions=2000,
+    )
+    scheduler = Scheduler()
+    rows = []
+    failed = False
+    try:
+        for entry in entries:
+            for version in versions:
+                row = campaign_row(
+                    entry,
+                    version,
+                    samples=args.samples,
+                    rows=args.rows,
+                    cols=args.cols,
+                    seed=args.seed,
+                    config=config,
+                    scheduler=scheduler,
+                )
+                rows.append(row)
+                failed = failed or row.tests_failed > 0 or bool(row.causes_found)
+    finally:
+        scheduler.shutdown()
+    print(render_table2(rows))
+    return 1 if failed else 0
+
+
+def cmd_observations(args: argparse.Namespace) -> int:
+    entry = get_class(args.cls)
+    test = _resolve_test(args, entry)
+    subject = SystemUnderTest(
+        entry.factory(args.version), f"{entry.name}({args.version})"
+    )
+    with TestHarness(subject) as harness:
+        observations, stats = harness.run_serial(test)
+    xml = observations_to_xml(observations)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(xml)
+        print(
+            f"wrote {len(observations)} serial histories "
+            f"({stats.executions} executions) to {args.output}"
+        )
+    else:
+        print(xml)
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.evaluation import EvaluationScale, run_evaluation
+
+    scale = EvaluationScale(
+        samples_per_class=args.samples,
+        rows=args.rows,
+        cols=args.cols,
+        phase2_schedules=args.schedules,
+        seed=args.seed,
+    )
+    report = run_evaluation(scale)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Line-Up: a complete and automatic linearizability checker",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the Table 1 class inventory")
+    p_list.add_argument("-v", "--verbose", action="store_true")
+    p_list.set_defaults(func=cmd_list)
+
+    p_check = sub.add_parser("check", help="run the two-phase check on one test")
+    p_check.add_argument("cls", metavar="CLASS", help="registry class name")
+    p_check.add_argument(
+        "--test", metavar="MATRIX",
+        help="test matrix, columns '|', ops ';' — e.g. \"Add(1); TryTake | TryTake\"",
+    )
+    p_check.add_argument("--init", metavar="OPS", help="init sequence (ops ';')")
+    p_check.add_argument("--final", metavar="OPS", help="final sequence (ops ';')")
+    p_check.add_argument(
+        "--cause", metavar="TAG", help="use the curated witness for a root cause"
+    )
+    p_check.add_argument(
+        "--minimize", action="store_true", help="shrink a failing test first"
+    )
+    p_check.add_argument(
+        "--relaxed", action="store_true",
+        help="Section 6 extension: tolerate nondeterministic specs and the "
+             "class's documented interference behaviours",
+    )
+    _add_check_options(p_check)
+    p_check.set_defaults(func=cmd_check)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="RandomCheck campaign (Table 2 rows)"
+    )
+    p_campaign.add_argument(
+        "cls", metavar="CLASS", help="registry class name, or 'all'"
+    )
+    p_campaign.add_argument("--versions", default="pre,beta")
+    p_campaign.add_argument("--samples", type=int, default=4)
+    p_campaign.add_argument("--rows", type=int, default=3)
+    p_campaign.add_argument("--cols", type=int, default=3)
+    p_campaign.add_argument("--schedules", type=int, default=150)
+    p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.set_defaults(func=cmd_campaign)
+
+    p_obs = sub.add_parser(
+        "observations", help="phase 1 only: write the observation file"
+    )
+    p_obs.add_argument("cls", metavar="CLASS")
+    p_obs.add_argument("--test", metavar="MATRIX")
+    p_obs.add_argument("--init", metavar="OPS")
+    p_obs.add_argument("--final", metavar="OPS")
+    p_obs.add_argument("--cause", metavar="TAG")
+    p_obs.add_argument("--version", choices=("pre", "beta"), default="beta")
+    p_obs.add_argument("-o", "--output", metavar="FILE")
+    p_obs.set_defaults(func=cmd_observations)
+
+    p_repro = sub.add_parser(
+        "reproduce", help="regenerate the paper's evaluation as markdown"
+    )
+    p_repro.add_argument("--samples", type=int, default=4)
+    p_repro.add_argument("--rows", type=int, default=3)
+    p_repro.add_argument("--cols", type=int, default=3)
+    p_repro.add_argument("--schedules", type=int, default=150)
+    p_repro.add_argument("--seed", type=int, default=1)
+    p_repro.add_argument("-o", "--output", metavar="FILE")
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Evaluation campaigns — the machinery behind Table 2 (Section 5).
+
+The paper's methodology, per class and library version:
+
+1. run ``RandomCheck`` on a uniform sample of 3×3 tests over the class's
+   invocation alphabet (Table 1),
+2. shrink failing tests to minimal dimension,
+3. classify each root cause (bug / intentional nondeterminism /
+   intentional nonlinearizability),
+4. report phase-1 history counts and times, phase-2 pass/fail counts and
+   times, and the preemption bound used.
+
+:func:`run_class_campaign` performs steps 1 and 4 for one class/version;
+:func:`campaign_row` adds the curated root-cause columns (step 2/3 were
+manual in the paper; here the registry carries the classification and the
+minimal witness tests, which :func:`verify_causes` re-validates).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.autocheck import random_check
+from repro.core.checker import CheckConfig, CheckResult
+from repro.core.harness import SystemUnderTest, TestHarness
+from repro.core.checker import check_with_harness
+from repro.runtime import Scheduler
+from repro.structures.registry import ClassUnderTest
+
+__all__ = ["CampaignRow", "campaign_row", "render_table2", "verify_causes"]
+
+
+@dataclass
+class CampaignRow:
+    """One row of Table 2: a class/version's campaign summary."""
+
+    class_name: str
+    version: str
+    methods: int
+    tests_run: int = 0
+    tests_passed: int = 0
+    tests_failed: int = 0
+    causes_found: tuple[str, ...] = ()
+    min_dimensions: dict[str, tuple[int, int]] = field(default_factory=dict)
+    histories_avg: float = 0.0
+    histories_max: int = 0
+    phase1_avg_s: float = 0.0
+    phase1_max_s: float = 0.0
+    fail_avg_s: float = 0.0
+    pass_avg_s: float = 0.0
+    preemption_bound: int | None = 2
+    stuck_tests: int = 0  #: tests whose phase 1 saw stuck serial histories
+
+
+def run_class_campaign(
+    entry: ClassUnderTest,
+    version: str,
+    samples: int = 20,
+    rows: int = 3,
+    cols: int = 3,
+    seed: int = 0,
+    config: CheckConfig | None = None,
+    scheduler: Scheduler | None = None,
+) -> tuple[CampaignRow, list[CheckResult]]:
+    """RandomCheck campaign for one class/version, with Table 2 stats."""
+    cfg = config or CheckConfig()
+    subject = SystemUnderTest(entry.factory(version), f"{entry.name}({version})")
+    campaign = random_check(
+        subject,
+        entry.invocations,
+        rows=rows,
+        cols=cols,
+        samples=samples,
+        seed=seed,
+        config=cfg,
+        keep_results=True,
+        init=entry.init,
+        scheduler=scheduler,
+    )
+    row = CampaignRow(
+        class_name=entry.name,
+        version=version,
+        methods=entry.method_count,
+        preemption_bound=cfg.preemption_bound,
+    )
+    fail_times: list[float] = []
+    pass_times: list[float] = []
+    for result in campaign.results:
+        row.tests_run += 1
+        row.histories_avg += result.phase1.histories
+        row.histories_max = max(row.histories_max, result.phase1.histories)
+        row.phase1_avg_s += result.phase1_seconds
+        row.phase1_max_s = max(row.phase1_max_s, result.phase1_seconds)
+        if result.phase1.stuck_histories:
+            row.stuck_tests += 1
+        total = result.phase1_seconds + result.phase2_seconds
+        if result.failed:
+            row.tests_failed += 1
+            fail_times.append(total)
+        else:
+            row.tests_passed += 1
+            pass_times.append(total)
+    if row.tests_run:
+        row.histories_avg /= row.tests_run
+        row.phase1_avg_s /= row.tests_run
+    if fail_times:
+        row.fail_avg_s = sum(fail_times) / len(fail_times)
+    if pass_times:
+        row.pass_avg_s = sum(pass_times) / len(pass_times)
+    return row, campaign.results
+
+
+def verify_causes(
+    entry: ClassUnderTest,
+    version: str,
+    config: CheckConfig | None = None,
+    scheduler: Scheduler | None = None,
+) -> tuple[tuple[str, ...], dict[str, tuple[int, int]]]:
+    """Re-validate the curated minimal witness tests (Table 2 columns
+    "root causes" and "minimal dimension")."""
+    cfg = config or CheckConfig()
+    found: list[str] = []
+    dimensions: dict[str, tuple[int, int]] = {}
+    subject = SystemUnderTest(entry.factory(version), f"{entry.name}({version})")
+    with TestHarness(subject, scheduler=scheduler, max_steps=cfg.max_steps) as harness:
+        for cause in entry.causes_for(version):
+            if cause.witness_test is None:
+                continue
+            result = check_with_harness(harness, cause.witness_test, cfg)
+            if result.failed:
+                found.append(cause.tag)
+                dimensions[cause.tag] = cause.witness_test.dimension
+    return tuple(found), dimensions
+
+
+def campaign_row(
+    entry: ClassUnderTest,
+    version: str,
+    samples: int = 20,
+    rows: int = 3,
+    cols: int = 3,
+    seed: int = 0,
+    config: CheckConfig | None = None,
+    scheduler: Scheduler | None = None,
+    witness_config: CheckConfig | None = None,
+) -> CampaignRow:
+    """Full Table 2 row: random campaign plus curated cause validation.
+
+    The random campaign honours *config* (typically sampled phase 2 for
+    speed); the curated minimal witnesses are re-validated with
+    *witness_config*, defaulting to the exhaustive PB-2 checker so the
+    per-cause columns never depend on sampling luck.
+    """
+    row, _results = run_class_campaign(
+        entry, version, samples, rows, cols, seed, config, scheduler
+    )
+    row.causes_found, row.min_dimensions = verify_causes(
+        entry, version, witness_config or CheckConfig(), scheduler
+    )
+    return row
+
+
+def render_table2(rows: list[CampaignRow]) -> str:
+    """Format campaign rows the way the paper's Table 2 reads."""
+    header = (
+        f"{'Class':26s} {'ver':4s} {'causes':8s} {'dim':8s} "
+        f"{'hist avg':>8s} {'hist max':>8s} {'p1 avg':>8s} "
+        f"{'fail':>4s} {'pass':>4s} {'t-fail':>7s} {'t-pass':>7s} {'PB':>3s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        dims = ",".join(
+            f"{r}x{c}" for r, c in sorted(set(row.min_dimensions.values()))
+        )
+        pb = "-" if row.preemption_bound is None else str(row.preemption_bound)
+        lines.append(
+            f"{row.class_name:26s} {row.version:4s} "
+            f"{','.join(row.causes_found) or '-':8s} {dims or '-':8s} "
+            f"{row.histories_avg:8.1f} {row.histories_max:8d} "
+            f"{row.phase1_avg_s * 1000:7.1f}m "
+            f"{row.tests_failed:4d} {row.tests_passed:4d} "
+            f"{row.fail_avg_s * 1000:6.1f}m {row.pass_avg_s * 1000:6.1f}m {pb:>3s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,271 @@
+"""The two-phase Check algorithm (paper Figure 5, Section 3.3).
+
+``check(X, m)`` decides whether the executions of implementation X on
+finite test m are consistent with *some* deterministic sequential
+specification:
+
+* **Phase 1** enumerates every serial execution of m (unbounded DFS in
+  serial mode) and records the full serial histories (set A) and stuck
+  serial histories (set B).  If A ∪ B is nondeterministic, FAIL.
+* **Phase 2** enumerates concurrent executions (preemption-bounded DFS by
+  default, the paper's PB=2; or random sampling) and checks every full
+  history against A (Definition 1) and every stuck history against B
+  (Definition 2).  Any history without a witness is a FAIL.
+
+Per Theorem 5, a FAIL is a proof that X is linearizable with respect to
+*no* deterministic sequential specification; phase 1 runs unbounded so
+this completeness guarantee survives the phase-2 preemption bounding
+(Section 4.3, last paragraph).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.harness import Phase1Stats, SystemUnderTest, TestHarness
+from repro.core.history import History, SerialHistory
+from repro.core.spec import NondeterminismWitness, ObservationSet
+from repro.core.testcase import FiniteTest
+from repro.core.witness import check_full_history, check_stuck_history
+from repro.runtime import (
+    Decision,
+    DFSStrategy,
+    IterativeDFSStrategy,
+    PCTStrategy,
+    RandomStrategy,
+    Scheduler,
+    SchedulingStrategy,
+)
+
+__all__ = [
+    "CheckConfig",
+    "CheckResult",
+    "Violation",
+    "check",
+    "check_against_observations",
+    "check_with_harness",
+]
+
+#: Violation kinds.
+NONDETERMINISTIC = "nondeterministic-specification"
+NO_FULL_WITNESS = "non-linearizable-history"
+NO_STUCK_WITNESS = "non-linearizable-blocking"
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Tuning knobs for one ``Check`` run.
+
+    The defaults mirror the paper: exhaustive phase 1, DFS phase 2 with
+    preemption bound 2 (the CHESS default the paper uses "except where it
+    performed unacceptably slow").  ``phase2_strategy="random"`` switches
+    phase 2 to random-walk sampling of ``phase2_executions`` schedules;
+    ``"iterative"`` uses CHESS's iterative context bounding (exhaust
+    bound 0, then 1, ... up to ``preemption_bound``), which reaches the
+    simplest witness of a bug first.  ``max_*_executions`` are safety
+    caps for interactive use; None means unbounded (exhaustive within
+    the bound).
+    """
+
+    preemption_bound: int | None = 2
+    phase2_strategy: str = "dfs"  #: "dfs", "iterative", "random" or "pct"
+    pct_depth: int = 3  #: bug depth for phase2_strategy="pct"
+    phase2_executions: int = 2000  #: sample size when phase2_strategy="random"
+    seed: int = 0
+    max_serial_executions: int | None = None
+    max_concurrent_executions: int | None = 20_000
+    max_steps: int = 20_000
+    stop_at_first_violation: bool = True
+
+    def make_phase2_strategy(self) -> SchedulingStrategy:
+        if self.phase2_strategy == "dfs":
+            return DFSStrategy(preemption_bound=self.preemption_bound)
+        if self.phase2_strategy == "iterative":
+            bound = 2 if self.preemption_bound is None else self.preemption_bound
+            return IterativeDFSStrategy(max_bound=bound)
+        if self.phase2_strategy == "random":
+            return RandomStrategy(self.phase2_executions, seed=self.seed)
+        if self.phase2_strategy == "pct":
+            return PCTStrategy(
+                self.phase2_executions, depth=self.pct_depth, seed=self.seed
+            )
+        raise ValueError(f"unknown phase2 strategy {self.phase2_strategy!r}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Evidence that the subject is not deterministically linearizable.
+
+    Exactly one of the payloads is set, depending on ``kind``:
+
+    * :data:`NONDETERMINISTIC` — ``nondeterminism`` holds the two serial
+      histories whose common prefix ends in a call (Fig. 5 line 4).
+    * :data:`NO_FULL_WITNESS` — ``history`` is a full concurrent history
+      with no serial witness in A (line 8).
+    * :data:`NO_STUCK_WITNESS` — ``history`` is a stuck concurrent history
+      and ``pending_op`` has no stuck serial witness for H[e] (line 13).
+
+    ``decisions`` is the scheduler decision trace of the violating
+    execution, replayable with :class:`repro.runtime.ReplayStrategy`.
+    """
+
+    kind: str
+    test: FiniteTest
+    history: History | None = None
+    pending_op: Any = None
+    nondeterminism: NondeterminismWitness | None = None
+    decisions: tuple[Decision, ...] = ()
+
+    def describe(self) -> str:
+        if self.kind == NONDETERMINISTIC:
+            assert self.nondeterminism is not None
+            return f"serial behaviour is nondeterministic: {self.nondeterminism.describe()}"
+        if self.kind == NO_FULL_WITNESS:
+            return f"concurrent history has no serial witness: {self.history}"
+        return (
+            f"stuck operation {self.pending_op} is never allowed to block "
+            f"serially, yet blocked in: {self.history}"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Outcome and statistics of one ``Check(X, m)`` run (Table 2 inputs)."""
+
+    verdict: str  #: "PASS" or "FAIL"
+    test: FiniteTest
+    violations: list[Violation] = field(default_factory=list)
+    observations: ObservationSet | None = None
+    phase1: Phase1Stats = field(default_factory=Phase1Stats)
+    phase1_seconds: float = 0.0
+    phase2_executions: int = 0
+    phase2_full: int = 0
+    phase2_stuck: int = 0
+    phase2_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == "PASS"
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == "FAIL"
+
+    @property
+    def violation(self) -> Violation | None:
+        return self.violations[0] if self.violations else None
+
+
+def check(
+    subject: SystemUnderTest,
+    test: FiniteTest,
+    config: CheckConfig | None = None,
+    scheduler: Scheduler | None = None,
+) -> CheckResult:
+    """Run the two-phase Check of Figure 5 on one finite test."""
+    with TestHarness(
+        subject, scheduler=scheduler, max_steps=(config or CheckConfig()).max_steps
+    ) as harness:
+        return check_with_harness(harness, test, config)
+
+
+def check_with_harness(
+    harness: TestHarness,
+    test: FiniteTest,
+    config: CheckConfig | None = None,
+) -> CheckResult:
+    """Like :func:`check` but reusing an existing harness/scheduler."""
+    cfg = config or CheckConfig()
+
+    # ---- Phase 1: synthesize the specification from serial executions.
+    t0 = time.perf_counter()
+    observations, stats = harness.run_serial(
+        test, max_executions=cfg.max_serial_executions
+    )
+    phase1_seconds = time.perf_counter() - t0
+    result = CheckResult(
+        verdict="PASS",
+        test=test,
+        observations=observations,
+        phase1=stats,
+        phase1_seconds=phase1_seconds,
+    )
+    if not observations.is_deterministic:
+        result.verdict = "FAIL"
+        result.violations.append(
+            Violation(
+                kind=NONDETERMINISTIC,
+                test=test,
+                nondeterminism=observations.nondeterminism,
+            )
+        )
+        return result
+
+    # ---- Phase 2: check the concurrent executions against A and B.
+    _run_phase2(harness, test, observations, cfg, result)
+    return result
+
+
+def check_against_observations(
+    harness: TestHarness,
+    test: FiniteTest,
+    observations: ObservationSet,
+    config: CheckConfig | None = None,
+) -> CheckResult:
+    """Spec-relative check: phase 2 only, against a *given* specification.
+
+    This is Definition 3 with an explicit specification instead of a
+    synthesized one — the setting of the paper's Section 2.2.2 example,
+    where the Fig. 4 counter is perfectly consistent with *some*
+    deterministic spec ("get poisons the lock") yet violates the intended
+    Fig. 3 spec.  The observation set can be hand-written or synthesized
+    from a reference implementation's phase 1 (differential checking).
+    """
+    cfg = config or CheckConfig()
+    result = CheckResult(verdict="PASS", test=test, observations=observations)
+    _run_phase2(harness, test, observations, cfg, result)
+    return result
+
+
+def _run_phase2(
+    harness: TestHarness,
+    test: FiniteTest,
+    observations: ObservationSet,
+    cfg: CheckConfig,
+    result: CheckResult,
+) -> None:
+    t1 = time.perf_counter()
+    strategy = cfg.make_phase2_strategy()
+    for history, outcome in harness.explore_concurrent(
+        test, strategy, max_executions=cfg.max_concurrent_executions
+    ):
+        result.phase2_executions += 1
+        violation: Violation | None = None
+        if history.stuck:
+            result.phase2_stuck += 1
+            stuck_check = check_stuck_history(history, observations)
+            if not stuck_check.ok:
+                violation = Violation(
+                    kind=NO_STUCK_WITNESS,
+                    test=test,
+                    history=history,
+                    pending_op=stuck_check.failed,
+                    decisions=tuple(outcome.decisions),
+                )
+        else:
+            result.phase2_full += 1
+            if check_full_history(history, observations) is None:
+                violation = Violation(
+                    kind=NO_FULL_WITNESS,
+                    test=test,
+                    history=history,
+                    decisions=tuple(outcome.decisions),
+                )
+        if violation is not None:
+            result.verdict = "FAIL"
+            result.violations.append(violation)
+            if cfg.stop_at_first_violation:
+                break
+    result.phase2_seconds = time.perf_counter() - t1

@@ -1,0 +1,250 @@
+"""Test harness: runs a finite test under the model checker (Section 4.1).
+
+The harness turns a :class:`FiniteTest` into thread bodies for the
+scheduler, records call/return events with argument and result values
+(exactly the instrumentation the paper adds to CHESS), and rebuilds
+:class:`History` objects from execution outcomes.
+
+Layout of one execution:
+
+* thread A runs the *init* sequence first (other threads gate on it), then
+  its own column, then — after every column finished — the *final*
+  sequence.  Init/final operations are recorded like ordinary operations.
+* an operation's exceptions are captured and become its response, so that
+  "sometimes raises" is observable nondeterminism rather than a crash.
+* executions in which some operation can never complete come back as
+  *stuck* histories (deadlock or livelock), feeding Definitions 2/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History
+from repro.core.spec import ObservationSet
+from repro.core.testcase import FiniteTest
+from repro.runtime import (
+    DFSStrategy,
+    ExecutionOutcome,
+    Runtime,
+    Scheduler,
+    SchedulerError,
+    SchedulingStrategy,
+)
+
+__all__ = ["HarnessError", "OpMark", "Phase1Stats", "SystemUnderTest", "TestHarness"]
+
+
+class HarnessError(RuntimeError):
+    """The harness itself failed (e.g. the test body raised unexpectedly)."""
+
+
+@dataclass(frozen=True)
+class OpMark:
+    """Marker in the access stream delimiting one operation's accesses.
+
+    The harness appends a ``begin`` mark right before dispatching an
+    invocation and an ``end`` mark right after it returns; the analysis
+    tools (conflict serializability in particular) use the marks to
+    partition memory accesses into transactions.
+    """
+
+    thread: int
+    op_index: int
+    kind: str  #: "begin" or "end"
+
+
+@dataclass(frozen=True)
+class SystemUnderTest:
+    """A factory producing fresh instances of the implementation X.
+
+    ``factory`` receives the :class:`Runtime` through which the instance
+    must allocate all shared state, and returns the object whose methods
+    the invocations name.  Line-Up treats the object as a black box: only
+    its method results and blocking behaviour are observed.
+    """
+
+    factory: Callable[[Runtime], Any]
+    name: str = "subject"
+
+
+@dataclass
+class Phase1Stats:
+    """Statistics of a serial-enumeration run (Table 2, phase 1 columns)."""
+
+    executions: int = 0
+    histories: int = 0  #: distinct serial histories recorded
+    stuck_histories: int = 0
+
+
+class TestHarness:
+    """Runs finite tests against one system under test.
+
+    Owns (or borrows) a :class:`Scheduler`; reuse one harness across many
+    tests — the underlying worker threads are pooled.  Use as a context
+    manager, or call :meth:`close` when done (only needed for owned
+    schedulers).
+    """
+
+    def __init__(
+        self,
+        subject: SystemUnderTest,
+        scheduler: Scheduler | None = None,
+        max_steps: int = 20_000,
+    ) -> None:
+        self.subject = subject
+        self._owns_scheduler = scheduler is None
+        self.scheduler = scheduler if scheduler is not None else Scheduler(max_steps)
+        self.runtime = Runtime(self.scheduler)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._owns_scheduler:
+            self.scheduler.shutdown()
+
+    def __enter__(self) -> "TestHarness":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- body construction ---------------------------------------------------
+
+    def _bodies(self, test: FiniteTest) -> list[Callable[[], None]]:
+        """Fresh bodies (and a fresh subject instance) for one execution."""
+        sched = self.scheduler
+        obj = self.subject.factory(self.runtime)
+        n = test.n_threads
+        state = {"init_done": len(test.init) == 0, "columns_done": 0}
+
+        def run_op(thread: int, op_index: int, invocation: Invocation) -> None:
+            sched.schedule_point(boundary=True)
+            sched.record_event(Event.call(thread, op_index, invocation))
+            sched.record_access(OpMark(thread, op_index, "begin"))
+            response = self._dispatch(obj, invocation)
+            sched.record_access(OpMark(thread, op_index, "end"))
+            sched.record_event(Event.ret(thread, op_index, response))
+
+        def make_body(thread: int) -> Callable[[], None]:
+            column = test.column(thread)
+
+            def body() -> None:
+                index = 0
+                if thread == 0:
+                    for invocation in test.init:
+                        run_op(0, index, invocation)
+                        index += 1
+                    state["init_done"] = True
+                elif test.init:
+                    sched.block_until(lambda: state["init_done"], harness=True)
+                for invocation in column:
+                    run_op(thread, index, invocation)
+                    index += 1
+                state["columns_done"] += 1
+                if thread == 0 and test.final:
+                    sched.block_until(
+                        lambda: state["columns_done"] == n, harness=True
+                    )
+                    for invocation in test.final:
+                        run_op(0, index, invocation)
+                        index += 1
+
+            return body
+
+        return [make_body(t) for t in range(n)]
+
+    @staticmethod
+    def _dispatch(obj: Any, invocation: Invocation) -> Response:
+        if invocation.target is not None:
+            # Multi-object test: the factory returned a mapping of named
+            # objects (see repro.core.multi / the paper's Theorem 1).
+            if not isinstance(obj, dict):
+                raise HarnessError(
+                    f"invocation targets object {invocation.target!r} but the "
+                    "factory did not return a mapping of objects"
+                )
+            if invocation.target not in obj:
+                raise HarnessError(f"no object named {invocation.target!r}")
+            obj = obj[invocation.target]
+        elif isinstance(obj, dict):
+            raise HarnessError(
+                "multi-object subject requires invocations with a target"
+            )
+        try:
+            attr = getattr(obj, invocation.method)
+        except AttributeError as exc:
+            raise HarnessError(
+                f"{type(obj).__name__} has no method {invocation.method!r}"
+            ) from exc
+        try:
+            if callable(attr):
+                return Response.of(attr(*invocation.args))
+            if invocation.args:
+                raise HarnessError(
+                    f"{invocation.method} is a plain attribute; it takes no arguments"
+                )
+            return Response.of(attr)
+        except (HarnessError, SchedulerError):
+            # Runtime/harness misuse is a bug in the test setup or the
+            # structure's use of the scheduler API, never a legitimate
+            # response of the object under test.
+            raise
+        except Exception as exc:  # the response *is* the exception
+            return Response.raised(exc)
+
+    # -- running ----------------------------------------------------------------
+
+    def history_from_outcome(
+        self, outcome: ExecutionOutcome, test: FiniteTest
+    ) -> History:
+        if outcome.crashes:
+            tid, exc = outcome.crashes[0]
+            raise HarnessError(
+                f"thread {tid} crashed outside an operation: {exc!r}"
+            ) from exc
+        return History(outcome.events, test.n_threads, stuck=outcome.stuck)
+
+    def run_serial(
+        self, test: FiniteTest, max_executions: int | None = None
+    ) -> tuple[ObservationSet, Phase1Stats]:
+        """Phase 1: enumerate all serial executions, synthesize the spec.
+
+        Uses unbounded DFS (no preemption bounding — there are no
+        preemptions in serial mode anyway), preserving the completeness
+        guarantee of Theorem 5.
+        """
+        observations = ObservationSet(test.n_threads)
+        stats = Phase1Stats()
+        strategy = DFSStrategy(preemption_bound=None)
+        for outcome in self.scheduler.explore(
+            lambda: self._bodies(test),
+            strategy,
+            serial=True,
+            max_executions=max_executions,
+        ):
+            stats.executions += 1
+            history = self.history_from_outcome(outcome, test)
+            serial = history.to_serial()
+            if observations.add(serial):
+                stats.histories += 1
+                if serial.stuck:
+                    stats.stuck_histories += 1
+        return observations, stats
+
+    def explore_concurrent(
+        self,
+        test: FiniteTest,
+        strategy: SchedulingStrategy,
+        max_executions: int | None = None,
+    ) -> Iterator[tuple[History, ExecutionOutcome]]:
+        """Phase 2: enumerate concurrent executions under *strategy*."""
+        for outcome in self.scheduler.explore(
+            lambda: self._bodies(test),
+            strategy,
+            serial=False,
+            max_executions=max_executions,
+        ):
+            yield self.history_from_outcome(outcome, test), outcome

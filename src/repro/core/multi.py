@@ -1,0 +1,194 @@
+"""Multi-object checking via the Theorem 1 reduction.
+
+The paper restricts its formal attention to single-object histories and
+notes (footnote to Definition 1) that "Theorem 1 [Herlihy & Wing] proves
+that linearizability of multi-object histories can be soundly reduced to
+linearizability of single-object histories".  This module implements
+that reduction:
+
+* a multi-object finite test tags each invocation with a ``target``
+  object name, and the subject factory returns a mapping
+  ``{name: object}``;
+* one exploration runs the combined test; every (serial or concurrent)
+  history is *projected* per object — keep the events of operations
+  targeting that object, renumbering per-thread indices;
+* phase 1 synthesizes one specification per object from the projected
+  serial histories (each must be deterministic); phase 2 requires every
+  projected concurrent history to be linearizable against its object's
+  specification.
+
+By Theorem 1, PASS here implies the combined histories are linearizable
+with respect to the composition of the per-object specifications; a FAIL
+names the object whose projection has no witness.
+
+Note the locality caveat the theorem carries: the reduction is sound for
+*linearizability* precisely because linearizability is a local property;
+the determinism requirement is likewise checked per object.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.checker import (
+    NO_FULL_WITNESS,
+    NO_STUCK_WITNESS,
+    NONDETERMINISTIC,
+    CheckConfig,
+    CheckResult,
+    Violation,
+)
+from repro.core.events import Event
+from repro.core.harness import Phase1Stats, TestHarness
+from repro.core.history import History
+from repro.core.spec import ObservationSet
+from repro.core.testcase import FiniteTest
+from repro.core.witness import check_full_history, check_stuck_history
+
+__all__ = ["MultiCheckResult", "check_multi", "project_object"]
+
+
+def project_object(history: History, target: str | None) -> History:
+    """The sub-history of operations on *target*, indices renumbered."""
+    keep = {
+        op.key for op in history.operations if op.invocation.target == target
+    }
+    counters: dict[tuple[int, int], int] = {}
+    next_index: dict[int, int] = {}
+    events: list[Event] = []
+    for event in history.events:
+        key = (event.thread, event.op_index)
+        if key not in keep:
+            continue
+        if key not in counters:
+            counters[key] = next_index.get(event.thread, 0)
+            next_index[event.thread] = counters[key] + 1
+        events.append(
+            Event(
+                kind=event.kind,
+                thread=event.thread,
+                op_index=counters[key],
+                invocation=event.invocation,
+                response=event.response,
+            )
+        )
+    # The projection is stuck iff it still holds a pending operation.
+    projected = History(events, history.n_threads, stuck=False)
+    if history.stuck and projected.pending_operations:
+        projected = History(events, history.n_threads, stuck=True)
+    return projected
+
+
+class MultiCheckResult(CheckResult):
+    """CheckResult with per-object observation sets and failure target."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.per_object: dict[str | None, ObservationSet] = {}
+        self.failed_object: str | None = None
+
+
+def _targets_of(test: FiniteTest) -> list[str | None]:
+    targets: list[str | None] = []
+    for column in list(test.columns) + [test.init, test.final]:
+        for invocation in column:
+            if invocation.target not in targets:
+                targets.append(invocation.target)
+    return targets
+
+
+def check_multi(
+    harness: TestHarness,
+    test: FiniteTest,
+    config: CheckConfig | None = None,
+) -> MultiCheckResult:
+    """Two-phase check of a multi-object test via per-object projection."""
+    cfg = config or CheckConfig()
+    targets = _targets_of(test)
+
+    # ---- Phase 1: one serial enumeration, projected per object.
+    t0 = time.perf_counter()
+    stats = Phase1Stats()
+    per_object: dict[str | None, ObservationSet] = {
+        target: ObservationSet(test.n_threads) for target in targets
+    }
+    from repro.runtime import DFSStrategy
+
+    strategy = DFSStrategy(preemption_bound=None)
+    for outcome in harness.scheduler.explore(
+        lambda: harness._bodies(test),
+        strategy,
+        serial=True,
+        max_executions=cfg.max_serial_executions,
+    ):
+        stats.executions += 1
+        history = harness.history_from_outcome(outcome, test)
+        for target in targets:
+            projection = project_object(history, target)
+            serial = projection.to_serial()
+            if per_object[target].add(serial):
+                stats.histories += 1
+                if serial.stuck:
+                    stats.stuck_histories += 1
+
+    result = MultiCheckResult(
+        verdict="PASS",
+        test=test,
+        phase1=stats,
+        phase1_seconds=time.perf_counter() - t0,
+    )
+    result.per_object = per_object
+    for target, observations in per_object.items():
+        if not observations.is_deterministic:
+            result.verdict = "FAIL"
+            result.failed_object = target
+            result.violations.append(
+                Violation(
+                    kind=NONDETERMINISTIC,
+                    test=test,
+                    nondeterminism=observations.nondeterminism,
+                )
+            )
+            return result
+
+    # ---- Phase 2: one concurrent exploration, checked per object.
+    t1 = time.perf_counter()
+    phase2 = cfg.make_phase2_strategy()
+    for history, outcome in harness.explore_concurrent(
+        test, phase2, max_executions=cfg.max_concurrent_executions
+    ):
+        result.phase2_executions += 1
+        if history.stuck:
+            result.phase2_stuck += 1
+        else:
+            result.phase2_full += 1
+        violation: Violation | None = None
+        for target in targets:
+            projection = project_object(history, target)
+            observations = per_object[target]
+            if projection.stuck:
+                stuck_check = check_stuck_history(projection, observations)
+                if not stuck_check.ok:
+                    violation = Violation(
+                        kind=NO_STUCK_WITNESS,
+                        test=test,
+                        history=projection,
+                        pending_op=stuck_check.failed,
+                        decisions=tuple(outcome.decisions),
+                    )
+            elif check_full_history(projection, observations) is None:
+                violation = Violation(
+                    kind=NO_FULL_WITNESS,
+                    test=test,
+                    history=projection,
+                    decisions=tuple(outcome.decisions),
+                )
+            if violation is not None:
+                result.verdict = "FAIL"
+                result.failed_object = target
+                result.violations.append(violation)
+                break
+        if result.failed and cfg.stop_at_first_violation:
+            break
+    result.phase2_seconds = time.perf_counter() - t1
+    return result

@@ -1,0 +1,91 @@
+"""ASCII timelines for histories — one lane per thread.
+
+The paper argues its reports win developers over because "the component
+misbehaves in an externally observable way"; a visual interleaving makes
+that immediate.  :func:`render_timeline` draws each thread as a lane and
+each operation as an interval between its call and return positions::
+
+    A |= Add(200) =||==== Add(400) ====...
+    B        |= TryTake() -> 'Fail' =|
+
+Pending operations (stuck histories) trail off with ``...``; the global
+left-to-right order is the event order of the history, so overlap on the
+page is overlap in the history (the `<H` relation is readable directly).
+"""
+
+from __future__ import annotations
+
+from repro.core.history import History
+
+__all__ = ["render_timeline"]
+
+
+def _label(op) -> str:
+    if op.response is None:
+        return f" {op.invocation} "
+    if op.response.kind == "raised":
+        return f" {op.invocation} !> {op.response.value} "
+    if op.response.value is None:
+        return f" {op.invocation} "
+    return f" {op.invocation} -> {op.response.value!r} "
+
+
+def render_timeline(history: History, min_cell: int = 2) -> str:
+    """Render *history* as per-thread lanes over a shared event axis.
+
+    ``min_cell`` is the minimum width of one event column; columns widen
+    as needed so every operation label fits inside its interval.
+    """
+    n_events = len(history.events)
+    ops = list(history.operations)
+    # Column widths: start uniform, widen the span of any op whose label
+    # does not fit between its call and return columns.
+    widths = [min_cell] * (n_events + 1)
+    for op in ops:
+        start = op.call_pos
+        end = op.return_pos if op.return_pos is not None else n_events
+        label = _label(op)
+        need = len(label) + 2  # the |= =| brackets
+        span = list(range(start, min(end, n_events)))
+        have = sum(widths[i] for i in span) or 1
+        if have < need and span:
+            extra = need - have
+            per = extra // len(span) + 1
+            for i in span:
+                widths[i] += per
+    # Column start offsets.
+    offsets = [0]
+    for width in widths:
+        offsets.append(offsets[-1] + width)
+    total = offsets[n_events]
+
+    names = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    lines = []
+    for thread in range(history.n_threads):
+        lane = [" "] * (total + 4)
+        for op in ops:
+            if op.thread != thread:
+                continue
+            start = offsets[op.call_pos]
+            if op.return_pos is not None:
+                end = offsets[op.return_pos]
+                body_width = max(end - start - 2, 0)
+                text = _label(op)
+                filler = "=" if op.return_pos is not None else "."
+                body = text.center(body_width, filler)[:body_width]
+                segment = f"|{body}|"
+            else:
+                end = total + 2
+                body_width = max(end - start - 1, 0)
+                text = _label(op)
+                body = (text + "." * body_width)[:body_width]
+                segment = f"|{body}..."
+            for i, ch in enumerate(segment):
+                pos = start + i
+                if pos < len(lane):
+                    lane[pos] = ch
+        name = names[thread] if thread < 26 else f"T{thread}"
+        lines.append(f"{name} " + "".join(lane).rstrip())
+    if history.stuck:
+        lines.append("  (execution stuck: pending operations never return)")
+    return "\n".join(lines)

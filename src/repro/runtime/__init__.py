@@ -1,0 +1,67 @@
+"""The stateless model-checking runtime (the paper's CHESS substitute).
+
+Public surface:
+
+* :class:`Scheduler` — serializes logical threads and enumerates their
+  interleavings at the granularity of instrumented operations.
+* :class:`Runtime` — the facade through which code under test allocates
+  instrumented shared state (cells, atomics, locks, containers).
+* :class:`DFSStrategy`, :class:`RandomStrategy`, :class:`ReplayStrategy` —
+  exploration strategies (exhaustive / sampled / single replay).
+"""
+
+from repro.runtime.env import Runtime
+from repro.runtime.errors import (
+    DecisionReplayError,
+    ExecutionAbort,
+    SchedulerError,
+)
+from repro.runtime.locks import Lock
+from repro.runtime.monitor import Monitor
+from repro.runtime.memory import (
+    AccessRecord,
+    AtomicCell,
+    PlainCell,
+    SharedDict,
+    SharedList,
+    VolatileCell,
+)
+from repro.runtime.scheduler import (
+    Decision,
+    ExecutionOutcome,
+    Scheduler,
+    SchedulingStrategy,
+    thread_name,
+)
+from repro.runtime.strategies import (
+    DFSStrategy,
+    IterativeDFSStrategy,
+    PCTStrategy,
+    RandomStrategy,
+    ReplayStrategy,
+)
+
+__all__ = [
+    "AccessRecord",
+    "AtomicCell",
+    "Decision",
+    "DecisionReplayError",
+    "DFSStrategy",
+    "ExecutionAbort",
+    "ExecutionOutcome",
+    "IterativeDFSStrategy",
+    "Lock",
+    "Monitor",
+    "PCTStrategy",
+    "PlainCell",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "Runtime",
+    "Scheduler",
+    "SchedulerError",
+    "SchedulingStrategy",
+    "SharedDict",
+    "SharedList",
+    "VolatileCell",
+    "thread_name",
+]

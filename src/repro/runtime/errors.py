@@ -1,0 +1,45 @@
+"""Exception types used by the model-checking runtime.
+
+The runtime distinguishes three kinds of abnormal control flow:
+
+* :class:`ExecutionAbort` — an internal signal used to unwind logical
+  threads when the scheduler tears down a stuck (deadlocked) execution so
+  that worker threads can be reused.  It derives from ``BaseException`` on
+  purpose, so that ``except Exception`` handlers inside the code under test
+  cannot swallow it.
+* :class:`SchedulerError` — misuse of the runtime API (for example calling
+  a scheduling primitive from a thread the scheduler does not control).
+* :class:`DecisionReplayError` — a replayed execution diverged from its
+  recorded decision trace (nondeterminism outside the instrumented
+  primitives).
+
+Livelocks and diverging loops are *not* exceptions: exceeding the step
+budget marks the execution as a stuck history (``stuck_kind ==
+"livelock"``), in line with the paper's treatment of divergence.
+"""
+
+from __future__ import annotations
+
+
+class ExecutionAbort(BaseException):
+    """Internal signal: unwind this logical thread, the execution is over.
+
+    Raised inside a controlled thread when the scheduler abandons the
+    current execution (for example because every live thread is blocked).
+    User code must never catch this; it derives from ``BaseException`` so
+    that broad ``except Exception`` clauses do not intercept it.
+    """
+
+
+class SchedulerError(RuntimeError):
+    """The model-checking runtime was used incorrectly."""
+
+
+class DecisionReplayError(SchedulerError):
+    """A replayed execution diverged from the recorded decision trace.
+
+    This indicates nondeterminism in the code under test that is not
+    mediated by the runtime (wall-clock time, ambient randomness, iteration
+    over sets with unstable order, ...).  Stateless model checking requires
+    the decision trace to fully determine the execution.
+    """

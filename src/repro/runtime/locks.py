@@ -1,0 +1,121 @@
+"""Instrumented locks for the model-checking runtime.
+
+:class:`Lock` is a non-reentrant mutex whose acquire/release are scheduling
+points, like a .NET ``Monitor``/lock statement under CHESS.  Two features
+the paper's case studies depend on:
+
+* ``acquire(timeout=True)`` models a lock acquire that *may* time out.  The
+  timeout is a bounded nondeterministic decision resolved by the scheduler
+  (:meth:`Scheduler.choose`), so exhaustive exploration covers both the
+  success and the timeout path.  This is exactly the mechanism behind the
+  paper's Figure 1 bug, where a ``TryTake`` accidentally used a timed lock
+  acquire and reported failure on timeout.
+* ``wait_for(predicate)`` is a condition-variable wait: it releases the
+  lock, blocks until the predicate holds, and reacquires.  Because blocking
+  is predicate-based there are no lost wakeups; implementations still must
+  re-check their condition after waking, as with real monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.runtime.memory import _Location
+from repro.runtime.errors import SchedulerError
+from repro.runtime.scheduler import Scheduler
+
+__all__ = ["Lock"]
+
+
+class Lock(_Location):
+    """A non-reentrant mutex controlled by the model-checking scheduler."""
+
+    def __init__(self, scheduler: Scheduler, name: str = "lock") -> None:
+        super().__init__(scheduler, name)
+        self._owner: int | None = None
+
+    @property
+    def held(self) -> bool:
+        return self._owner is not None
+
+    def holder(self) -> int | None:
+        """Logical thread currently owning the lock, or None."""
+        return self._owner
+
+    def acquire(self) -> None:
+        """Block until the lock is available, then take it."""
+        sched = self._scheduler
+        tid = sched.current_thread()
+        if self._owner == tid:
+            raise SchedulerError(f"thread {tid} re-acquired non-reentrant {self.name}")
+        sched.block_until(lambda: self._owner is None)
+        self._owner = tid
+        self._record("acquire", volatile=True)
+
+    def try_acquire(self) -> bool:
+        """Take the lock iff it is free right now; never blocks."""
+        sched = self._scheduler
+        sched.schedule_point()
+        if self._owner is None:
+            self._owner = sched.current_thread()
+            self._record("acquire", volatile=True)
+            return True
+        self._record("cas-fail", volatile=True)
+        return False
+
+    def acquire_timed(self) -> bool:
+        """Acquire with a timeout; the timeout firing is nondeterministic.
+
+        Returns True when the lock was taken, False when the (modelled)
+        timeout fired first.  When the lock is free the acquire always
+        succeeds; under contention the scheduler enumerates both waiting
+        until the lock frees up and giving up.
+        """
+        sched = self._scheduler
+        sched.schedule_point()
+        while self._owner is not None:
+            if sched.choose(2) == 1:
+                self._record("cas-fail", volatile=True)
+                return False
+            sched.block_until(lambda: self._owner is None)
+        self._owner = sched.current_thread()
+        self._record("acquire", volatile=True)
+        return True
+
+    def release(self) -> None:
+        """Release the lock; only the owner may do so."""
+        sched = self._scheduler
+        tid = sched.current_thread()
+        sched.schedule_point()
+        if self._owner != tid:
+            raise SchedulerError(
+                f"thread {tid} released {self.name} owned by {self._owner}"
+            )
+        self._record("release", volatile=True)
+        self._owner = None
+
+    def __enter__(self) -> "Lock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def wait_for(self, predicate: Callable[[], bool]) -> None:
+        """Condition wait: hold the lock, wait until *predicate*, reacquire.
+
+        Must be called with the lock held.  On return the lock is held and
+        the predicate was true at the instant the lock was reacquired; as
+        with real condition variables, callers that race with other
+        consumers should loop.
+        """
+        sched = self._scheduler
+        tid = sched.current_thread()
+        if self._owner != tid:
+            raise SchedulerError("wait_for requires the lock to be held")
+        while True:
+            self.release()
+            sched.block_until(lambda: predicate())
+            self.acquire()
+            if predicate():
+                return

@@ -1,0 +1,254 @@
+"""Instrumented shared-memory cells and atomics.
+
+The .NET implementations studied by the paper synchronize with ``volatile``
+fields and ``Interlocked`` (CAS/exchange) operations; the benign data races
+the paper reports (Section 5.6) are exactly races on fields that *should*
+have been volatile but could not be declared so in C#.  We reproduce that
+memory-access vocabulary:
+
+* :class:`VolatileCell` — a shared variable whose reads and writes are
+  scheduling points (like a volatile field, every access is a
+  synchronization event CHESS would instrument).
+* :class:`PlainCell` — a shared variable whose accesses are *recorded* for
+  the race detector but are not scheduling points (like an ordinary field;
+  CHESS likewise does not preempt at data accesses).
+* :class:`AtomicCell` — volatile cell with ``Interlocked``-style
+  compare-and-swap, exchange, and add.
+* :class:`SharedList` / :class:`SharedDict` — instrumented containers used
+  as backing stores; their accesses are recorded like plain fields.
+
+Every access appends an :class:`AccessRecord` to the current execution so
+the analysis tools (happens-before race detection, conflict
+serializability) can observe exactly what the model checker explored.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.runtime.scheduler import Scheduler
+
+__all__ = [
+    "AccessRecord",
+    "AtomicCell",
+    "PlainCell",
+    "SharedDict",
+    "SharedList",
+    "VolatileCell",
+]
+
+_location_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One instrumented access to shared state (for the analysis tools)."""
+
+    stamp: int  #: value of the execution step counter at access time
+    thread: int  #: logical thread id performing the access
+    kind: str  #: read / write / cas-ok / cas-fail / acquire / release
+    location: int  #: unique id of the accessed cell or lock
+    name: str  #: human-readable location name
+    volatile: bool  #: whether the access has synchronization semantics
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in ("write", "cas-ok")
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in ("read", "cas-fail")
+
+
+class _Location:
+    """Shared base: a named location with an id, bound to a scheduler."""
+
+    def __init__(self, scheduler: Scheduler, name: str) -> None:
+        self._scheduler = scheduler
+        self.location = next(_location_ids)
+        self.name = name
+
+    def _record(self, kind: str, volatile: bool) -> None:
+        sched = self._scheduler
+        outcome = sched._outcome  # noqa: SLF001 - runtime-internal fast path
+        if outcome is None:
+            return
+        outcome.accesses.append(
+            AccessRecord(
+                stamp=outcome.steps,
+                thread=sched.current_thread(),
+                kind=kind,
+                location=self.location,
+                name=self.name,
+                volatile=volatile,
+            )
+        )
+
+
+class PlainCell(_Location):
+    """A non-volatile shared variable: monitored, but not a switch point."""
+
+    def __init__(self, scheduler: Scheduler, value: Any = None, name: str = "cell"):
+        super().__init__(scheduler, name)
+        self._value = value
+
+    def get(self) -> Any:
+        self._record("read", volatile=False)
+        return self._value
+
+    def set(self, value: Any) -> None:
+        self._record("write", volatile=False)
+        self._value = value
+
+
+class VolatileCell(_Location):
+    """A volatile shared variable: every access is a scheduling point."""
+
+    def __init__(self, scheduler: Scheduler, value: Any = None, name: str = "volatile"):
+        super().__init__(scheduler, name)
+        self._value = value
+
+    def get(self) -> Any:
+        self._scheduler.schedule_point()
+        self._record("read", volatile=True)
+        return self._value
+
+    def set(self, value: Any) -> None:
+        self._scheduler.schedule_point()
+        self._record("write", volatile=True)
+        self._value = value
+
+    def peek(self) -> Any:
+        """Read without a scheduling point (for predicates in block_until)."""
+        return self._value
+
+
+class AtomicCell(VolatileCell):
+    """Volatile cell with Interlocked-style atomic read-modify-write ops."""
+
+    def compare_and_swap(self, expected: Any, update: Any) -> bool:
+        """Atomically set to *update* iff the current value == *expected*.
+
+        Returns True on success.  The whole operation is one scheduling
+        point; no other thread can run between the comparison and the
+        write, exactly like ``Interlocked.CompareExchange``.
+        """
+        self._scheduler.schedule_point()
+        if self._value == expected:
+            self._record("cas-ok", volatile=True)
+            self._value = update
+            return True
+        self._record("cas-fail", volatile=True)
+        return False
+
+    def exchange(self, update: Any) -> Any:
+        """Atomically set to *update*, returning the previous value."""
+        self._scheduler.schedule_point()
+        self._record("cas-ok", volatile=True)
+        previous = self._value
+        self._value = update
+        return previous
+
+    def add(self, delta: int) -> int:
+        """Atomically add *delta*, returning the **new** value."""
+        self._scheduler.schedule_point()
+        self._record("cas-ok", volatile=True)
+        self._value += delta
+        return self._value
+
+    def increment(self) -> int:
+        return self.add(1)
+
+    def decrement(self) -> int:
+        return self.add(-1)
+
+
+class SharedList(_Location):
+    """An instrumented list used as a backing store.
+
+    Accesses are recorded (for race analysis) but are not scheduling
+    points; callers synchronize access with locks or atomics, as the .NET
+    collections do for their internal arrays.
+    """
+
+    def __init__(self, scheduler: Scheduler, items: Iterable[Any] = (), name: str = "list"):
+        super().__init__(scheduler, name)
+        self._items: list[Any] = list(items)
+
+    def __len__(self) -> int:
+        self._record("read", volatile=False)
+        return len(self._items)
+
+    def append(self, item: Any) -> None:
+        self._record("write", volatile=False)
+        self._items.append(item)
+
+    def pop(self, index: int = -1) -> Any:
+        self._record("write", volatile=False)
+        return self._items.pop(index)
+
+    def insert(self, index: int, item: Any) -> None:
+        self._record("write", volatile=False)
+        self._items.insert(index, item)
+
+    def get(self, index: int) -> Any:
+        self._record("read", volatile=False)
+        return self._items[index]
+
+    def set(self, index: int, item: Any) -> None:
+        self._record("write", volatile=False)
+        self._items[index] = item
+
+    def remove(self, item: Any) -> None:
+        self._record("write", volatile=False)
+        self._items.remove(item)
+
+    def clear(self) -> None:
+        self._record("write", volatile=False)
+        self._items.clear()
+
+    def snapshot(self) -> list[Any]:
+        self._record("read", volatile=False)
+        return list(self._items)
+
+    def peek_len(self) -> int:
+        """Length without an access record (for block_until predicates)."""
+        return len(self._items)
+
+
+class SharedDict(_Location):
+    """An instrumented dict used as a backing store (see SharedList)."""
+
+    def __init__(self, scheduler: Scheduler, name: str = "dict"):
+        super().__init__(scheduler, name)
+        self._items: dict[Any, Any] = {}
+
+    def __len__(self) -> int:
+        self._record("read", volatile=False)
+        return len(self._items)
+
+    def __contains__(self, key: Any) -> bool:
+        self._record("read", volatile=False)
+        return key in self._items
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        self._record("read", volatile=False)
+        return self._items.get(key, default)
+
+    def set(self, key: Any, value: Any) -> None:
+        self._record("write", volatile=False)
+        self._items[key] = value
+
+    def delete(self, key: Any) -> None:
+        self._record("write", volatile=False)
+        del self._items[key]
+
+    def keys(self) -> list[Any]:
+        self._record("read", volatile=False)
+        return sorted(self._items)
+
+    def snapshot(self) -> dict[Any, Any]:
+        self._record("read", volatile=False)
+        return dict(self._items)

@@ -1,0 +1,125 @@
+"""An instrumented .NET/Java-style monitor (Enter/Wait/Pulse).
+
+Unlike :meth:`Lock.wait_for`, whose predicate-based waits can never miss
+a wakeup, a :class:`Monitor` has real ``Pulse``/``PulseAll`` semantics:
+signals wake *currently queued* waiters and are otherwise lost, exactly
+like ``Monitor.Pulse`` in .NET or ``notify`` in Java.  That fidelity
+matters for checking: the classic condition-variable bugs — waiting with
+``if`` instead of ``while``, pulsing one waiter where all must wake,
+pulsing before anyone waits — all become expressible, and Line-Up
+detects each as a linearizability or blocking violation (see
+``repro.structures.bounded_buffer`` for a worked example).
+
+Waiters are woken in FIFO order, so executions remain deterministic
+functions of the schedule, as stateless replay requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.errors import SchedulerError
+from repro.runtime.memory import _Location
+from repro.runtime.scheduler import Scheduler
+
+__all__ = ["Monitor"]
+
+
+class _WaitNode:
+    """One queued waiter; ``signaled`` is flipped by Pulse/PulseAll."""
+
+    __slots__ = ("signaled",)
+
+    def __init__(self) -> None:
+        self.signaled = False
+
+
+class Monitor(_Location):
+    """A mutex with condition-variable wait/pulse semantics."""
+
+    def __init__(self, scheduler: Scheduler, name: str = "monitor") -> None:
+        super().__init__(scheduler, name)
+        self._owner: int | None = None
+        self._waiters: list[_WaitNode] = []
+
+    @property
+    def held(self) -> bool:
+        return self._owner is not None
+
+    def enter(self) -> None:
+        """Acquire the monitor lock (blocks)."""
+        sched = self._scheduler
+        tid = sched.current_thread()
+        if self._owner == tid:
+            raise SchedulerError(f"thread {tid} re-entered non-reentrant {self.name}")
+        sched.block_until(lambda: self._owner is None)
+        self._owner = tid
+        self._record("acquire", volatile=True)
+
+    def exit(self) -> None:
+        """Release the monitor lock."""
+        sched = self._scheduler
+        tid = sched.current_thread()
+        sched.schedule_point()
+        if self._owner != tid:
+            raise SchedulerError(
+                f"thread {tid} exited {self.name} owned by {self._owner}"
+            )
+        self._record("release", volatile=True)
+        self._owner = None
+
+    def __enter__(self) -> "Monitor":
+        self.enter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.exit()
+
+    def wait(self) -> None:
+        """Release the lock, wait for a pulse, reacquire (Monitor.Wait).
+
+        A pulse that happens while this thread is *not yet* queued is
+        lost — the real, missed-wakeup-capable semantics.  As with real
+        monitors, the condition must be re-checked in a loop after
+        waking; forgetting that is precisely the bug class this
+        primitive lets Line-Up expose.
+        """
+        sched = self._scheduler
+        tid = sched.current_thread()
+        if self._owner != tid:
+            raise SchedulerError("Monitor.wait requires the lock to be held")
+        node = _WaitNode()
+        self._waiters.append(node)
+        self._record("release", volatile=True)
+        self._owner = None
+        sched.block_until(lambda: node.signaled)
+        # Reacquire before returning, like Monitor.Wait.
+        sched.block_until(lambda: self._owner is None)
+        self._owner = tid
+        self._record("acquire", volatile=True)
+
+    def pulse(self) -> None:
+        """Wake the longest-waiting thread, if any (Monitor.Pulse)."""
+        self._signal(all_waiters=False)
+
+    def pulse_all(self) -> None:
+        """Wake every queued waiter (Monitor.PulseAll)."""
+        self._signal(all_waiters=True)
+
+    def _signal(self, all_waiters: bool) -> None:
+        sched = self._scheduler
+        tid = sched.current_thread()
+        sched.schedule_point()
+        if self._owner != tid:
+            raise SchedulerError("Monitor.pulse requires the lock to be held")
+        self._record("write", volatile=True)
+        if all_waiters:
+            for node in self._waiters:
+                node.signaled = True
+            self._waiters.clear()
+        elif self._waiters:
+            self._waiters.pop(0).signaled = True
+
+    def waiting_count(self) -> int:
+        """Number of currently queued waiters (no scheduling point)."""
+        return len(self._waiters)

@@ -1,0 +1,615 @@
+"""A stateless model-checking scheduler for Python (the CHESS substitute).
+
+The paper builds Line-Up on top of the CHESS stateless model checker, which
+enumerates thread schedules of .NET code by context-switching only at
+instrumented synchronization points.  This module provides the equivalent
+substrate for Python:
+
+* Logical threads are real ``threading.Thread`` workers, but they are
+  *serialized*: a baton (one semaphore per worker) guarantees that exactly
+  one logical thread executes at any instant.  The GIL is therefore
+  irrelevant — interleaving is fully controlled by the scheduler, at the
+  granularity of the instrumented operations, exactly as CHESS controls
+  interleaving at the granularity of synchronization events.
+* Every instrumented primitive (volatile read/write, CAS, lock acquire,
+  ...) calls :meth:`Scheduler.schedule_point` before touching shared state.
+  At such a point the scheduler may transfer the baton to another enabled
+  logical thread.  Which thread continues is a *decision*; the sequence of
+  decisions fully determines the execution, which is what makes stateless
+  replay-based exploration possible.
+* Blocking primitives call :meth:`Scheduler.block_until`; a blocked thread
+  is re-enabled when its predicate holds.  If no thread is enabled the
+  execution is *stuck* (a deadlock), which Line-Up's generalized
+  linearizability definition treats as an observable outcome rather than
+  a test-harness failure.
+* Bounded nondeterminism inside the implementation under test (for example
+  a lock acquire that may time out) is modelled with
+  :meth:`Scheduler.choose`, which is a decision like any other and is
+  enumerated by the exploration strategies.
+
+Two scheduling modes correspond to the two phases of the Line-Up check:
+
+* **serial mode** (phase 1): context switches happen only at operation
+  boundaries; an operation that blocks makes the whole execution stuck
+  immediately (a *stuck serial history* in the paper's terminology).
+* **concurrent mode** (phase 2): every scheduling point is a potential
+  context switch, optionally preemption-bounded.
+
+Workers are pooled and reused across executions; a stuck execution is torn
+down by aborting the still-blocked workers with :class:`ExecutionAbort`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.runtime.errors import (
+    DecisionReplayError,
+    ExecutionAbort,
+    SchedulerError,
+)
+
+__all__ = [
+    "Decision",
+    "ExecutionOutcome",
+    "Scheduler",
+    "THREAD_NAMES",
+    "thread_name",
+]
+
+#: Display names for logical threads, matching the paper's A/B/C convention.
+THREAD_NAMES = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def thread_name(tid: int) -> str:
+    """Return the display name for logical thread *tid* (0 -> 'A', ...)."""
+    if 0 <= tid < len(THREAD_NAMES):
+        return THREAD_NAMES[tid]
+    return f"T{tid}"
+
+
+# Worker / logical-thread states.
+_UNSTARTED = "unstarted"  # body assigned, never scheduled
+_RUNNABLE = "runnable"  # started, not blocked (may or may not hold baton)
+_BLOCKED = "blocked"  # waiting inside block_until
+_DONE = "done"  # body finished (or aborted) for this execution
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One decision made during an execution.
+
+    ``kind`` is ``"thread"`` (which logical thread continues) or ``"value"``
+    (a bounded nondeterministic choice made by the code under test).
+    ``options`` is the tuple of alternatives that were available, ``chosen``
+    the selected element, and ``running`` the logical thread that held the
+    baton when the decision was made (``None`` for the initial decision).
+    ``free`` marks decisions at operation boundaries of the test harness:
+    switching threads there is part of enumerating operation interleavings
+    and is *not* counted as a preemption by bounded strategies (preemptions
+    are switches away from a thread that is mid-operation and enabled).
+    """
+
+    kind: str
+    options: tuple
+    chosen: Any
+    running: int | None
+    free: bool = False
+
+
+@dataclass
+class ExecutionOutcome:
+    """Everything observable about one terminated (or stuck) execution."""
+
+    status: str  #: ``"complete"`` or ``"stuck"``
+    stuck_kind: str | None = None  #: ``"deadlock"``, ``"livelock"`` or None
+    decisions: list[Decision] = field(default_factory=list)
+    events: list[Any] = field(default_factory=list)
+    accesses: list[Any] = field(default_factory=list)
+    steps: int = 0
+    #: logical threads that had not finished their body when the execution
+    #: got stuck (empty for complete executions).
+    pending_threads: tuple[int, ...] = ()
+    #: (thread id, exception) pairs for bodies that raised out of the
+    #: harness; normally empty because the harness captures exceptions.
+    crashes: list[tuple[int, BaseException]] = field(default_factory=list)
+
+    @property
+    def stuck(self) -> bool:
+        return self.status == "stuck"
+
+
+class _Worker:
+    """A pooled OS thread hosting one logical thread per execution."""
+
+    def __init__(self, scheduler: "Scheduler", slot: int) -> None:
+        self.scheduler = scheduler
+        self.slot = slot
+        self.baton = threading.Semaphore(0)
+        self.body: Callable[[], None] | None = None
+        self.tid: int = -1
+        self.state: str = _DONE
+        self.predicate: Callable[[], bool] | None = None
+        # True until the body reaches its first scheduling point.  That
+        # point is redundant: the decision that scheduled this body already
+        # chose it, and no shared access happened in between, so branching
+        # again would only enumerate duplicate interleavings.
+        self.fresh = False
+        # Set by spin_wait: the thread stays disabled until another thread
+        # makes progress (fair scheduling for spin loops, see the paper's
+        # Section 4 note that "support for fairness is important").
+        self.yielded = False
+        self._shutdown = False
+        self.os_thread = threading.Thread(
+            target=self._loop, name=f"lineup-worker-{slot}", daemon=True
+        )
+        self.os_thread.start()
+
+    def enabled(self) -> bool:
+        """Whether this logical thread could be scheduled right now."""
+        if self.yielded:
+            return False
+        if self.state in (_UNSTARTED, _RUNNABLE):
+            return True
+        if self.state == _BLOCKED:
+            assert self.predicate is not None
+            return bool(self.predicate())
+        return False
+
+    def _loop(self) -> None:
+        sched = self.scheduler
+        while True:
+            self.baton.acquire()
+            if self._shutdown:
+                return
+            assert self.body is not None
+            self.state = _RUNNABLE
+            try:
+                self.body()
+            except ExecutionAbort:
+                pass
+            except BaseException as exc:  # harness bug or uncaught user error
+                sched._record_crash(self.tid, exc)
+            self.state = _DONE
+            self.predicate = None
+            self.body = None
+            if sched._tearing_down:
+                sched._ack.release()
+            else:
+                sched._on_thread_done()
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        self.baton.release()
+
+
+class Scheduler:
+    """Enumerates thread interleavings of instrumented Python code.
+
+    One scheduler owns a pool of worker threads and is reused across many
+    executions and tests.  It is not itself thread-safe: drive it from a
+    single controller thread (typically the pytest process) via
+    :meth:`explore` or :meth:`execute`.
+    """
+
+    def __init__(self, max_steps: int = 20_000) -> None:
+        if max_steps <= 0:
+            raise ValueError("max_steps must be positive")
+        self.max_steps = max_steps
+        self._workers: list[_Worker] = []
+        self._main = threading.Semaphore(0)
+        self._ack = threading.Semaphore(0)
+        self._local = threading.local()
+        # Per-execution state.
+        self._active: list[_Worker] = []
+        self._strategy = None
+        self._serial = False
+        self._outcome: ExecutionOutcome | None = None
+        self._running: _Worker | None = None
+        self._tearing_down = False
+        self._in_execution = False
+        # Snapshot taken at stuck-time, while only one thread runs and all
+        # other states are stable: workers that will acknowledge the abort,
+        # and workers that never started (cleaned up without a handshake).
+        self._abort_acks: list[_Worker] = []
+        self._abort_unstarted: list[_Worker] = []
+
+    # ------------------------------------------------------------------
+    # Controller-side API
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        bodies: Sequence[Callable[[], None]],
+        strategy: "SchedulingStrategy",
+        serial: bool = False,
+    ) -> ExecutionOutcome:
+        """Run one execution of *bodies* under *strategy*'s decisions.
+
+        Each element of *bodies* becomes a logical thread.  Returns the
+        :class:`ExecutionOutcome`; the scheduler itself is ready for the
+        next execution afterwards.
+        """
+        if self._in_execution:
+            raise SchedulerError("execute() is not reentrant")
+        if not bodies:
+            raise SchedulerError("at least one thread body is required")
+        self._in_execution = True
+        try:
+            return self._execute(list(bodies), strategy, serial)
+        finally:
+            self._in_execution = False
+
+    def explore(
+        self,
+        bodies_factory: Callable[[], Sequence[Callable[[], None]]],
+        strategy: "SchedulingStrategy",
+        serial: bool = False,
+        max_executions: int | None = None,
+    ) -> Iterator[ExecutionOutcome]:
+        """Yield outcomes for every execution the strategy wants to run.
+
+        *bodies_factory* must build a fresh program (fresh object under
+        test, fresh closures) for every execution — this is what makes the
+        exploration *stateless* in the CHESS sense.
+        """
+        count = 0
+        while strategy.more():
+            if max_executions is not None and count >= max_executions:
+                return
+            yield self.execute(bodies_factory(), strategy, serial=serial)
+            count += 1
+
+    def shutdown(self) -> None:
+        """Terminate the pooled worker threads."""
+        for worker in self._workers:
+            worker.shutdown()
+        for worker in self._workers:
+            worker.os_thread.join(timeout=5)
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    # Controlled-thread API (called from inside the code under test)
+    # ------------------------------------------------------------------
+
+    def current_thread(self) -> int:
+        """Logical thread id of the caller (0-based)."""
+        worker = getattr(self._local, "worker", None)
+        if worker is None:
+            raise SchedulerError("not running on a scheduler-controlled thread")
+        return worker.tid
+
+    def thread_count(self) -> int:
+        """Number of logical threads in the current execution."""
+        return len(self._active)
+
+    def schedule_point(self, boundary: bool = False) -> None:
+        """A potential context switch before a shared-state access.
+
+        In serial mode only *boundary* points (between operations of the
+        test) allow a switch; interior points return immediately so that
+        operations execute atomically, producing serial histories.
+        """
+        worker = self._require_worker()
+        self._progress(worker)
+        if worker.fresh:
+            worker.fresh = False
+            return
+        self._bump_step()
+        if self._serial and not boundary:
+            return
+        self._transfer(worker, free=boundary)
+
+    def block_until(
+        self, predicate: Callable[[], bool], harness: bool = False
+    ) -> None:
+        """Block the calling logical thread until *predicate* holds.
+
+        The predicate must be a pure function of instrumented shared state.
+        In serial mode a false predicate makes the execution stuck at once,
+        because a serial history cannot overlap another operation with the
+        pending one (this yields the paper's stuck serial histories) —
+        except for *harness* waits (``harness=True``), which are test
+        infrastructure (e.g. "wait for every column before the final
+        sequence") and block normally in both modes.
+        """
+        worker = self._require_worker()
+        self._progress(worker)
+        if worker.fresh:
+            worker.fresh = False
+        else:
+            self._bump_step()
+            if not self._serial:
+                # The wait itself is a scheduling point even when it would
+                # not block, mirroring CHESS's instrumented sync operations.
+                self._transfer(worker)
+        while not predicate():
+            if self._serial and not harness:
+                self._finish_stuck("deadlock")
+                raise ExecutionAbort()
+            worker.state = _BLOCKED
+            worker.predicate = predicate
+            self._transfer(worker)
+            # When rescheduled, the predicate held at scheduling time and
+            # nothing ran since, so the loop exits unless it was aborted.
+
+    def choose(self, n: int) -> int:
+        """Resolve a bounded nondeterministic choice in the code under test.
+
+        Returns an integer in ``range(n)``.  Exploration strategies
+        enumerate or sample the alternatives exactly like thread decisions;
+        this models, for example, a lock acquire that may time out.
+        """
+        worker = self._require_worker()
+        if n <= 0:
+            raise ValueError("choose() needs at least one alternative")
+        worker.fresh = False  # a value decision is never redundant
+        self._progress(worker)
+        self._bump_step()
+        if n == 1:
+            return 0
+        return self._decide("value", tuple(range(n)), worker.tid)
+
+    def yield_point(self) -> None:
+        """An explicit yield (spin-wait hint); same as a scheduling point."""
+        self.schedule_point()
+
+    def spin_wait(self) -> None:
+        """Fair spin-loop backoff: yield until another thread progresses.
+
+        The calling thread becomes disabled until some other thread
+        executes a scheduling step, which is the fair-scheduling support
+        the paper notes is "important because many of the concurrent data
+        types use spin-loops": without it, exhaustive exploration of a
+        spin loop degenerates into livelock.  In serial mode a spin wait
+        can never be satisfied (no other operation may overlap), so the
+        execution is immediately stuck, like a blocking operation.
+        """
+        worker = self._require_worker()
+        self._progress(worker)
+        worker.fresh = False
+        self._bump_step()
+        if self._serial:
+            self._finish_stuck("livelock")
+            raise ExecutionAbort()
+        worker.yielded = True
+        self._transfer(worker)
+
+    def record_event(self, payload: Any) -> None:
+        """Append a harness-level event (call/return) to the execution."""
+        outcome = self._current_outcome()
+        outcome.events.append(payload)
+
+    def record_access(self, payload: Any) -> None:
+        """Append a memory-access record for the analysis tools."""
+        outcome = self._current_outcome()
+        outcome.accesses.append(payload)
+
+    @property
+    def serial_mode(self) -> bool:
+        return self._serial
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require_worker(self) -> _Worker:
+        worker = getattr(self._local, "worker", None)
+        if worker is None or worker.scheduler is not self:
+            raise SchedulerError("not running on a scheduler-controlled thread")
+        if self._tearing_down:
+            # The execution is being torn down (it got stuck); any cleanup
+            # code running on the unwind path (context managers, finally
+            # blocks) must abort rather than touch scheduler state, or it
+            # would clobber the ExecutionAbort with spurious errors.
+            raise ExecutionAbort()
+        return worker
+
+    def _current_outcome(self) -> ExecutionOutcome:
+        if self._outcome is None:
+            raise SchedulerError("no execution in progress")
+        return self._outcome
+
+    def _progress(self, worker: _Worker) -> None:
+        """*worker* made progress: re-enable threads spin-waiting on it."""
+        for other in self._active:
+            if other is not worker:
+                other.yielded = False
+
+    def _bump_step(self) -> None:
+        outcome = self._current_outcome()
+        outcome.steps += 1
+        if outcome.steps > self.max_steps:
+            self._finish_stuck("livelock")
+            raise ExecutionAbort()
+
+    def _record_crash(self, tid: int, exc: BaseException) -> None:
+        if self._outcome is not None:
+            self._outcome.crashes.append((tid, exc))
+
+    def _ensure_workers(self, n: int) -> None:
+        while len(self._workers) < n:
+            self._workers.append(_Worker(self, len(self._workers)))
+
+    def _execute(
+        self,
+        bodies: list[Callable[[], None]],
+        strategy: "SchedulingStrategy",
+        serial: bool,
+    ) -> ExecutionOutcome:
+        self._ensure_workers(len(bodies))
+        self._active = self._workers[: len(bodies)]
+        for tid, (worker, body) in enumerate(zip(self._active, bodies)):
+            worker.tid = tid
+            worker.body = self._wrap_body(worker, body)
+            worker.state = _UNSTARTED
+            worker.predicate = None
+            worker.fresh = True
+            worker.yielded = False
+        self._strategy = strategy
+        self._serial = serial
+        self._outcome = ExecutionOutcome(status="complete")
+        self._running = None
+        self._tearing_down = False
+        strategy.begin()
+
+        first = self._pick_next()
+        if first is None:  # pragma: no cover - bodies is non-empty
+            raise SchedulerError("no thread enabled at execution start")
+        self._hand_baton(first)
+        self._main.acquire()
+        self._teardown()
+        outcome = self._outcome
+        assert outcome is not None
+        strategy.finish(outcome)
+        self._outcome = None
+        self._strategy = None
+        return outcome
+
+    def _wrap_body(self, worker: _Worker, body: Callable[[], None]):
+        def run() -> None:
+            self._local.worker = worker
+            body()
+
+        return run
+
+    def _hand_baton(self, worker: _Worker) -> None:
+        self._running = worker
+        worker.baton.release()
+
+    def _enabled_tids(self) -> list[int]:
+        return [w.tid for w in self._active if w.enabled()]
+
+    def _decide(
+        self, kind: str, options: tuple, running: int | None, free: bool = False
+    ) -> Any:
+        strategy = self._strategy
+        assert strategy is not None
+        outcome = self._current_outcome()
+        if len(options) == 1:
+            chosen = options[0]
+        else:
+            chosen = strategy.decide(kind, options, running, free)
+            if chosen not in options:
+                raise SchedulerError(
+                    f"strategy chose {chosen!r}, not among options {options!r}"
+                )
+        outcome.decisions.append(Decision(kind, options, chosen, running, free))
+        return chosen
+
+    def _transfer(self, worker: _Worker, free: bool = False) -> None:
+        """Pick the next thread to run and pass the baton if it changed."""
+        enabled = self._enabled_tids()
+        if not enabled:
+            # If some thread is merely spin-yielded (it would be enabled
+            # were it not waiting for others to progress), everyone is
+            # spinning on everyone: a livelock rather than a deadlock.
+            spinning = any(
+                w.yielded and (w.state in (_UNSTARTED, _RUNNABLE)
+                               or (w.state == _BLOCKED and w.predicate()))
+                for w in self._active
+            )
+            self._finish_stuck("livelock" if spinning else "deadlock")
+            raise ExecutionAbort()
+        chosen = self._decide("thread", tuple(enabled), worker.tid, free)
+        if chosen == worker.tid:
+            worker.state = _RUNNABLE
+            worker.predicate = None
+            return
+        target = self._active[chosen]
+        self._hand_baton(target)
+        worker.baton.acquire()
+        if self._tearing_down:
+            raise ExecutionAbort()
+        worker.state = _RUNNABLE
+        worker.predicate = None
+
+    def _pick_next(self) -> _Worker | None:
+        enabled = self._enabled_tids()
+        if not enabled:
+            return None
+        running = self._running.tid if self._running is not None else None
+        chosen = self._decide("thread", tuple(enabled), running, free=True)
+        return self._active[chosen]
+
+    def _on_thread_done(self) -> None:
+        """Called from a worker whose body just finished."""
+        if all(w.state == _DONE for w in self._active):
+            self._main.release()
+            return
+        # A thread completing is progress: re-enable spin-yielded threads.
+        for worker in self._active:
+            worker.yielded = False
+        nxt = self._pick_next()
+        if nxt is None:
+            self._finish_stuck("deadlock")
+            return
+        self._hand_baton(nxt)
+
+    def _finish_stuck(self, kind: str) -> None:
+        """Mark the current execution stuck and wake the controller.
+
+        Called from the running worker; the caller is responsible for
+        raising :class:`ExecutionAbort` afterwards (when mid-body).
+        """
+        outcome = self._current_outcome()
+        outcome.status = "stuck"
+        outcome.stuck_kind = kind
+        outcome.pending_threads = tuple(
+            w.tid for w in self._active if w.state != _DONE
+        )
+        # Snapshot now: the caller holds the baton, every other worker is
+        # parked, so the states cannot change under us.
+        self._abort_acks = [
+            w for w in self._active if w.state in (_RUNNABLE, _BLOCKED)
+        ]
+        self._abort_unstarted = [
+            w for w in self._active if w.state == _UNSTARTED
+        ]
+        self._tearing_down = True
+        self._main.release()
+
+    def _teardown(self) -> None:
+        """Abort any workers still alive after a stuck execution."""
+        if not self._tearing_down:
+            return
+        for worker in self._abort_unstarted:
+            # Never scheduled: clear the assignment in place; the worker is
+            # parked on its baton and will not observe the body slot.
+            worker.body = None
+            worker.state = _DONE
+        for worker in self._abort_acks:
+            # The stuck-detecting worker (if mid-body) unwinds on its own;
+            # parked workers need their baton released to observe the abort.
+            if worker is not self._running:
+                worker.baton.release()
+        for _ in self._abort_acks:
+            self._ack.acquire()
+        self._abort_acks = []
+        self._abort_unstarted = []
+        self._tearing_down = False
+        self._running = None
+
+
+class SchedulingStrategy:
+    """Protocol for exploration strategies (see :mod:`.strategies`)."""
+
+    def more(self) -> bool:
+        """Whether another execution should be run."""
+        raise NotImplementedError
+
+    def begin(self) -> None:
+        """Called before each execution starts."""
+        raise NotImplementedError
+
+    def decide(
+        self, kind: str, options: tuple, running: int | None, free: bool
+    ) -> Any:
+        """Return the chosen alternative for a decision point."""
+        raise NotImplementedError
+
+    def finish(self, outcome: ExecutionOutcome) -> None:
+        """Called after each execution with its outcome."""
+        raise NotImplementedError

@@ -1,0 +1,87 @@
+"""Barrier — the classic nonlinearizable class (finding L).
+
+A phase barrier: ``SignalAndWait`` blocks each thread until all
+participants have entered the barrier, then everybody proceeds to the
+next phase.  As the paper notes (Section 5.3), this rendezvous behaviour
+"is not equivalent to any serial execution": with two participants,
+*serial* executions of two ``SignalAndWait`` calls always get stuck on
+the first call (it must wait for the second), while a *concurrent*
+execution completes both — a full history that can have no serial
+witness.  Line-Up necessarily reports it; the classification "intentional
+nonlinearizability" is the human step.  Note that enumerating the stuck
+serial executions at all requires the generalized linearizability
+machinery of Section 2.3 (finding L is also a Section 5.5 data point).
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime
+
+__all__ = ["Barrier", "InvalidOperation"]
+
+
+class InvalidOperation(Exception):
+    """Raised for operations illegal in the current state."""
+
+
+class Barrier:
+    """A reusable phase barrier."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", participants: int = 2):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        if participants <= 0:
+            raise ValueError("need at least one participant")
+        self._rt = rt
+        self._lock = rt.lock("barrier.lock")
+        self._participants = rt.volatile(participants, "barrier.participants")
+        self._arrived = rt.volatile(0, "barrier.arrived")
+        self._phase = rt.volatile(0, "barrier.phase")
+
+    def ParticipantCount(self) -> int:
+        with self._lock:
+            return self._participants.get()
+
+    def ParticipantsRemaining(self) -> int:
+        with self._lock:
+            return self._participants.get() - self._arrived.get()
+
+    def CurrentPhaseNumber(self) -> int:
+        return self._phase.get()
+
+    def AddParticipant(self) -> int:
+        """Register one more participant; returns the current phase."""
+        with self._lock:
+            self._participants.set(self._participants.get() + 1)
+            return self._phase.get()
+
+    def RemoveParticipant(self) -> None:
+        """Deregister a participant; may release the current phase."""
+        with self._lock:
+            participants = self._participants.get()
+            if participants <= 0:
+                raise InvalidOperation("no participants to remove")
+            if self._arrived.get() >= participants:
+                raise InvalidOperation(
+                    "cannot remove a participant while all have arrived"
+                )
+            self._participants.set(participants - 1)
+            self._maybe_release()
+
+    def SignalAndWait(self) -> int:
+        """Enter the barrier and wait for the phase to complete.
+
+        Returns the phase number that was completed.
+        """
+        with self._lock:
+            phase = self._phase.get()
+            self._arrived.set(self._arrived.get() + 1)
+            self._maybe_release()
+        self._rt.block_until(lambda: self._phase.peek() != phase)
+        return phase
+
+    def _maybe_release(self) -> None:
+        """With the lock held: advance the phase when everyone arrived."""
+        if self._arrived.get() >= self._participants.get():
+            self._arrived.set(0)
+            self._phase.set(self._phase.get() + 1)

@@ -1,0 +1,145 @@
+"""BlockingCollection — carrier of bug D (Fig. 1) and of the intentional
+nondeterminism findings I and J.
+
+A bounded-unbounded producer/consumer collection over an internal list
+guarded by one lock, with a semaphore-style credit counter tracking the
+number of takeable items and a completion flag (``CompleteAdding``).
+This mirrors the .NET design, where the item store and the consumer
+semaphore are updated in two separate steps — the source of the two
+*documented* nondeterministic behaviours the paper reports:
+
+* **I** — ``Count`` reads the credit counter; between a producer's insert
+  and its credit release the count lags, so ``Count`` can return 0 while
+  ``ToArray`` (which locks the store) already shows the item.
+* **J** — ``TryTake`` reserves a credit with a single CAS attempt (a
+  zero-timeout semaphore wait); when it loses the CAS race to another
+  taker it reports failure even though items remain.
+
+Both make Line-Up report violations on the **beta** version as well; the
+.NET developers chose to document them rather than fix them
+(Section 5.2.2).
+
+**Bug D (pre version)** is the Figure 1 bug: ``TryTake`` acquires the
+store lock with a timeout, and when the (modelled) timeout fires it
+reports the collection empty even though it merely lost the lock to a
+concurrent ``Add`` — a failure no serial execution can justify.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["BlockingCollection", "InvalidOperation"]
+
+
+class InvalidOperation(Exception):
+    """Raised for operations illegal in the current state."""
+
+
+class BlockingCollection:
+    """Producer/consumer collection with blocking and try variants."""
+
+    def __init__(self, rt: Runtime, version: str = "beta"):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._lock = rt.lock("bc.lock")
+        self._items = rt.shared_list((), "bc.items")
+        self._credits = rt.atomic(0, "bc.credits")
+        self._completed = rt.volatile(False, "bc.completed")
+
+    # -- producers -------------------------------------------------------
+
+    def Add(self, value: Any) -> None:
+        """Append an item; illegal after CompleteAdding."""
+        if self._completed.get():
+            raise InvalidOperation("adding is completed")
+        with self._lock:
+            self._items.append(value)
+        # The credit is released after the insert — the window in which
+        # Count lags and TryTake may not see the item yet (findings I/J).
+        self._credits.add(1)
+
+    def TryAdd(self, value: Any) -> bool:
+        """Like Add but reports False instead of raising."""
+        if self._completed.get():
+            return False
+        self.Add(value)
+        return True
+
+    def CompleteAdding(self) -> None:
+        self._completed.set(True)
+
+    def IsAddingCompleted(self) -> bool:
+        return self._completed.get()
+
+    def IsCompleted(self) -> bool:
+        """Adding completed and no items left."""
+        return self._completed.get() and self._credits.get() <= 0
+
+    # -- consumers -------------------------------------------------------
+
+    def _reserve_credit(self) -> bool:
+        """Zero-timeout semaphore wait.
+
+        Retries when the CAS lost to a *release* (credits grew — failing
+        then would be indefensible), but gives up when it lost to another
+        taker (credits shrank): the item this taker saw is gone, and a
+        zero-timeout wait does not linger.  That give-up is what makes
+        finding J possible — TryTake can fail while items remain.
+        """
+        while True:
+            credits = self._credits.get()
+            if credits <= 0:
+                return False
+            if self._credits.compare_and_swap(credits, credits - 1):
+                return True
+            if self._credits.get() < credits:
+                return False  # lost the race to another taker
+
+    def TryTake(self) -> Any:
+        """Take an item without blocking; "Fail" when none available."""
+        if self._pre:
+            # BUG D (Fig. 1): timed lock acquire; on timeout the method
+            # reports failure although items may be present.
+            if not self._lock.acquire_timed():
+                return "Fail"
+            try:
+                if self._items.peek_len() == 0:
+                    return "Fail"
+                value = self._items.pop(0)
+            finally:
+                self._lock.release()
+            while True:  # settle the credit that backed the taken item
+                credits = self._credits.get()
+                if self._credits.compare_and_swap(credits, credits - 1):
+                    return value
+        if not self._reserve_credit():
+            return "Fail"
+        with self._lock:
+            return self._items.pop(0)
+
+    def Take(self) -> Any:
+        """Blocking take; raises once completed and drained."""
+        while True:
+            if self._reserve_credit():
+                with self._lock:
+                    return self._items.pop(0)
+            if self._completed.get() and self._credits.get() <= 0:
+                raise InvalidOperation("collection is completed and empty")
+            self._rt.block_until(
+                lambda: self._credits.peek() > 0 or self._completed.peek()
+            )
+
+    # -- observers ---------------------------------------------------------
+
+    def Count(self) -> int:
+        """Number of takeable items (reads the credit counter — finding I)."""
+        return max(0, self._credits.get())
+
+    def ToArray(self) -> tuple:
+        with self._lock:
+            return tuple(self._items.snapshot())

@@ -1,0 +1,102 @@
+"""BoundedBuffer — the classic monitor-based producer/consumer example.
+
+Not one of the paper's 13 .NET classes: this is the worked example of
+checking *user-written* condition-variable code, exercising the
+missed-wakeup-capable :class:`repro.runtime.monitor.Monitor`.  Three
+vintages showcase the two canonical monitor bugs:
+
+* ``"beta"`` — correct: conditions re-checked in ``while`` loops, state
+  changes signalled with ``pulse_all``.
+* ``"pre"`` — waits with ``if`` instead of ``while``: after waking, the
+  condition may have been invalidated by a third thread, so ``Take``
+  pops an empty buffer (an exception response no serial execution
+  shows) or ``Put`` overfills past the capacity.
+* ``"pulse"`` — uses ``pulse`` (wake one) where ``pulse_all`` is needed:
+  with mixed waiters the single wakeup can land on the wrong side and
+  every thread blocks — erroneous blocking that only the generalized
+  (stuck-history) check rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+from repro.runtime.monitor import Monitor
+
+__all__ = ["BoundedBuffer", "BufferEmpty", "BufferFull"]
+
+
+class BufferEmpty(Exception):
+    """Take found the buffer empty after waking (the 'if' bug)."""
+
+
+class BufferFull(Exception):
+    """Put found the buffer full after waking (the 'if' bug)."""
+
+
+class BoundedBuffer:
+    """Monitor-based bounded FIFO buffer."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", capacity: int = 1):
+        if version not in ("beta", "pre", "pulse"):
+            raise ValueError(f"unknown version {version!r}")
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._rt = rt
+        self._version = version
+        self._capacity = capacity
+        self._monitor = Monitor(rt.scheduler, "buffer.monitor")
+        self._items = rt.shared_list((), "buffer.items")
+
+    def _signal(self) -> None:
+        if self._version == "pulse":
+            # BUG: wakes one waiter; with producers and consumers queued
+            # together the wakeup can land on the wrong side.
+            self._monitor.pulse()
+        else:
+            self._monitor.pulse_all()
+
+    def Put(self, value: Any) -> None:
+        """Insert; blocks while the buffer is full."""
+        with self._monitor:
+            if self._version == "pre":
+                # BUG: 'if' instead of 'while' — the condition may be
+                # false again by the time the lock is reacquired.
+                if self._items.peek_len() >= self._capacity:
+                    self._monitor.wait()
+                if self._items.peek_len() >= self._capacity:
+                    raise BufferFull()
+            else:
+                while self._items.peek_len() >= self._capacity:
+                    self._monitor.wait()
+            self._items.append(value)
+            self._signal()
+
+    def Take(self) -> Any:
+        """Remove the oldest element; blocks while empty."""
+        with self._monitor:
+            if self._version == "pre":
+                if self._items.peek_len() == 0:
+                    self._monitor.wait()
+                if self._items.peek_len() == 0:
+                    raise BufferEmpty()
+            else:
+                while self._items.peek_len() == 0:
+                    self._monitor.wait()
+            value = self._items.pop(0)
+            self._signal()
+            return value
+
+    def TryTake(self) -> Any:
+        """Non-blocking take; "Fail" when empty."""
+        with self._monitor:
+            if self._items.peek_len() == 0:
+                return "Fail"
+            value = self._items.pop(0)
+            self._signal()
+            return value
+
+    def Size(self) -> int:
+        with self._monitor:
+            return self._items.peek_len()

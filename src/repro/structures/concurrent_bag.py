@@ -1,0 +1,119 @@
+"""ConcurrentBag — source of the intentional-nondeterminism finding H.
+
+An unordered collection with work stealing, like the .NET ConcurrentBag:
+every thread owns a local list (guarded by a per-owner lock); ``Add``
+pushes onto the caller's own list, ``TryTake`` pops from the caller's own
+list LIFO and, when that is empty, tries to *steal* the oldest element
+from another thread's list.
+
+The stealing path uses ``try_acquire`` on the victim's lock and **skips
+the victim when the lock is busy** — the real design choice that makes
+``TryTake``'s result depend on the interleaving: a take can fail while
+the bag is provably non-empty because the only victim was momentarily
+locked by its owner.  Line-Up reports this as a linearizability violation
+(finding H); the paper's developers classified it as *intentional
+nondeterminism* — an unordered bag's TryTake may remove any element, or
+miss elements that are mid-operation — and updated the documentation.
+Both the pre and the beta version behave this way.
+
+Snapshot operations (``Count``, ``ToArray``, ``IsEmpty``) acquire every
+per-owner lock in order, so they are atomic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["ConcurrentBag"]
+
+
+class ConcurrentBag:
+    """Work-stealing unordered bag with per-thread local lists."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", max_threads: int = 4):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._n = max_threads
+        self._locks = [rt.lock(f"bag.lock{i}") for i in range(max_threads)]
+        self._lists = [rt.shared_list((), f"bag.list{i}") for i in range(max_threads)]
+
+    def _slot(self) -> int:
+        return self._rt.current_thread() % self._n
+
+    def Add(self, value: Any) -> None:
+        slot = self._slot()
+        with self._locks[slot]:
+            self._lists[slot].append(value)
+
+    def TryTake(self) -> Any:
+        """Take some element, or "Fail".
+
+        Pops LIFO from the caller's own list; otherwise steals FIFO from
+        another list.  Busy victims are skipped — the source of the
+        interleaving-dependent failures of finding H.
+        """
+        own = self._slot()
+        with self._locks[own]:
+            if self._lists[own].peek_len() > 0:
+                return self._lists[own].pop(-1)
+        for victim in range(self._n):
+            if victim == own:
+                continue
+            if not self._locks[victim].try_acquire():
+                continue  # busy victim: skip rather than wait
+            try:
+                if self._lists[victim].peek_len() > 0:
+                    return self._lists[victim].pop(0)
+            finally:
+                self._locks[victim].release()
+        return "Fail"
+
+    def TryPeek(self) -> Any:
+        """Peek at some element, or "Fail"; same stealing discipline."""
+        own = self._slot()
+        with self._locks[own]:
+            if self._lists[own].peek_len() > 0:
+                return self._lists[own].get(-1)
+        for victim in range(self._n):
+            if victim == own:
+                continue
+            if not self._locks[victim].try_acquire():
+                continue
+            try:
+                if self._lists[victim].peek_len() > 0:
+                    return self._lists[victim].get(0)
+            finally:
+                self._locks[victim].release()
+        return "Fail"
+
+    def Count(self) -> int:
+        self._acquire_all()
+        try:
+            return sum(lst.peek_len() for lst in self._lists)
+        finally:
+            self._release_all()
+
+    def IsEmpty(self) -> bool:
+        return self.Count() == 0
+
+    def ToArray(self) -> tuple:
+        """Snapshot of all elements, grouped by owning slot."""
+        self._acquire_all()
+        try:
+            out: list[Any] = []
+            for lst in self._lists:
+                out.extend(lst.snapshot())
+            return tuple(out)
+        finally:
+            self._release_all()
+
+    def _acquire_all(self) -> None:
+        for lock in self._locks:
+            lock.acquire()
+
+    def _release_all(self) -> None:
+        for lock in reversed(self._locks):
+            lock.release()

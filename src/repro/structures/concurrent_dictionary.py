@@ -1,0 +1,138 @@
+"""ConcurrentDictionary — carrier of bug E.
+
+A striped-lock hash map, like the .NET implementation: keys hash to one
+of ``n_stripes`` buckets, each bucket guarded by its own lock, so
+operations on different stripes proceed in parallel.  Whole-map
+operations (``Count``, ``IsEmpty``, ``Clear``) must take *all* stripe
+locks to be atomic — which is exactly what the beta version does.
+
+**Bug E (pre version)**: ``Count`` (and ``IsEmpty``) sums the per-stripe
+sizes *without* acquiring the locks.  With concurrent updates on
+different stripes the sum is not a snapshot: e.g. starting from
+``{21}``, a thread that runs ``TryAdd(10); TryRemove(21)`` (sizes
+1 → 2 → 1) can be interleaved so the unlocked sum reads stripe(10)
+*before* the add and stripe(21) *after* the remove, returning 0 — a
+count below every serial possibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["ConcurrentDictionary"]
+
+
+class KeyNotFound(Exception):
+    """Raised by the indexer when the key is absent."""
+
+
+class ConcurrentDictionary:
+    """Striped-lock hash map."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", n_stripes: int = 4):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        if n_stripes <= 0:
+            raise ValueError("need at least one stripe")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._n = n_stripes
+        self._locks = [rt.lock(f"dict.lock{i}") for i in range(n_stripes)]
+        self._buckets = [rt.shared_dict(f"dict.bucket{i}") for i in range(n_stripes)]
+        # Per-stripe element counters, read by Count.  Volatile, like the
+        # .NET implementation's countPerLock array.
+        self._sizes = [rt.volatile(0, f"dict.size{i}") for i in range(n_stripes)]
+
+    def _stripe(self, key: Any) -> int:
+        return hash(key) % self._n
+
+    # -- per-key operations -------------------------------------------------
+
+    def TryAdd(self, key: Any, value: Any = None) -> bool:
+        i = self._stripe(key)
+        with self._locks[i]:
+            if key in self._buckets[i]:
+                return False
+            self._buckets[i].set(key, value if value is not None else key)
+            self._sizes[i].set(self._sizes[i].get() + 1)
+            return True
+
+    def TryRemove(self, key: Any) -> Any:
+        """Remove *key*; returns its value, or "Fail" when absent."""
+        i = self._stripe(key)
+        with self._locks[i]:
+            if key not in self._buckets[i]:
+                return "Fail"
+            value = self._buckets[i].get(key)
+            self._buckets[i].delete(key)
+            self._sizes[i].set(self._sizes[i].get() - 1)
+            return value
+
+    def TryGetValue(self, key: Any) -> Any:
+        i = self._stripe(key)
+        with self._locks[i]:
+            if key not in self._buckets[i]:
+                return "Fail"
+            return self._buckets[i].get(key)
+
+    def GetItem(self, key: Any) -> Any:
+        """Indexer read (``dict[key]``); raises when absent."""
+        i = self._stripe(key)
+        with self._locks[i]:
+            if key not in self._buckets[i]:
+                raise KeyNotFound(str(key))
+            return self._buckets[i].get(key)
+
+    def SetItem(self, key: Any, value: Any = None) -> None:
+        """Indexer write (``dict[key] = value``); adds or overwrites."""
+        i = self._stripe(key)
+        with self._locks[i]:
+            if key not in self._buckets[i]:
+                self._sizes[i].set(self._sizes[i].get() + 1)
+            self._buckets[i].set(key, value if value is not None else key)
+
+    def TryUpdate(self, key: Any, value: Any = None) -> bool:
+        """Overwrite *key* iff present."""
+        i = self._stripe(key)
+        with self._locks[i]:
+            if key not in self._buckets[i]:
+                return False
+            self._buckets[i].set(key, value if value is not None else key)
+            return True
+
+    def ContainsKey(self, key: Any) -> bool:
+        i = self._stripe(key)
+        with self._locks[i]:
+            return key in self._buckets[i]
+
+    # -- whole-map operations -----------------------------------------------
+
+    def Count(self) -> int:
+        if self._pre:
+            # BUG E: unlocked sum over the stripe sizes — not a snapshot.
+            return sum(size.get() for size in self._sizes)
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            return sum(size.get() for size in self._sizes)
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()
+
+    def IsEmpty(self) -> bool:
+        return self.Count() == 0
+
+    def Clear(self) -> None:
+        for lock in self._locks:
+            lock.acquire()
+        try:
+            for i in range(self._n):
+                bucket = self._buckets[i]
+                for key in bucket.keys():
+                    bucket.delete(key)
+                self._sizes[i].set(0)
+        finally:
+            for lock in reversed(self._locks):
+                lock.release()

@@ -1,0 +1,72 @@
+"""ConcurrentLinkedList — the preview-only deque-like class.
+
+Table 1 lists a ConcurrentLinkedList that existed in the technology
+preview of the .NET parallel extensions but was cut before the Beta 2
+release.  We port it as a lock-based doubly-ended list (the preview
+implementation was coarse-grained).  Only the "pre" vintage exists in
+.NET; we expose both versions with identical, correct behaviour so the
+campaign can include it — its rows in Table 2 are among those with no
+root cause, demonstrating Line-Up passing on a stateful deque.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["ConcurrentLinkedList"]
+
+
+class ConcurrentLinkedList:
+    """Coarse-grained concurrent deque."""
+
+    def __init__(self, rt: Runtime, version: str = "beta"):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._lock = rt.lock("cll.lock")
+        self._items = rt.shared_list((), "cll.items")
+
+    def AddFirst(self, value: Any) -> None:
+        with self._lock:
+            self._items.insert(0, value)
+
+    def AddLast(self, value: Any) -> None:
+        with self._lock:
+            self._items.append(value)
+
+    def RemoveFirst(self) -> Any:
+        """Remove and return the first element, or "Fail" when empty."""
+        with self._lock:
+            if self._items.peek_len() == 0:
+                return "Fail"
+            return self._items.pop(0)
+
+    def RemoveLast(self) -> Any:
+        """Remove and return the last element, or "Fail" when empty."""
+        with self._lock:
+            if self._items.peek_len() == 0:
+                return "Fail"
+            return self._items.pop(-1)
+
+    def Remove(self, value: Any) -> bool:
+        """Remove the first occurrence of *value*; False when absent."""
+        with self._lock:
+            snapshot = self._items.snapshot()
+            if value not in snapshot:
+                return False
+            self._items.remove(value)
+            return True
+
+    def Count(self) -> int:
+        # Deliberately lock-free: a single read of the backing list's
+        # length is still a consistent momentary value (linearizable),
+        # but it races with locked writers — one of the *benign* data
+        # races of the paper's Section 5.6 comparison (fields the authors
+        # could not declare volatile).
+        return len(self._items)
+
+    def ToArray(self) -> tuple:
+        with self._lock:
+            return tuple(self._items.snapshot())

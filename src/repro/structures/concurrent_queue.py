@@ -1,0 +1,106 @@
+"""ConcurrentQueue — carrier of bug D (the paper's Figure 1).
+
+A FIFO queue using the classic Michael & Scott *two-lock* design: a
+dummy-headed linked list with independent head and tail locks, so an
+enqueuer and a dequeuer proceed in parallel.  Snapshot operations
+(``Count``, ``ToArray``, ``IsEmpty``) take both locks, making them
+linearizable.
+
+**Bug D (pre version)** is the bug behind the paper's Figure 1: the
+dequeue path acquires the head lock *with a timeout* and, when the
+(modelled, nondeterministic) timeout fires, reports the queue empty even
+though it merely lost the lock race::
+
+    Thread 1             Thread 2
+    Enqueue(200)
+    Enqueue(400)
+                         TryDequeue() -> 200
+                         TryDequeue() -> FAILS     # queue still has 400
+
+No serial execution fails a ``TryDequeue`` with elements present, so the
+history has no witness — exactly the violation that exposed the real bug
+in the .NET 4.0 community technology preview.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["ConcurrentQueue"]
+
+
+class _Node:
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: Any, rt: Runtime) -> None:
+        self.value = value
+        self.next = rt.volatile(None, "queue.node.next")
+
+
+class ConcurrentQueue:
+    """Michael & Scott two-lock FIFO queue."""
+
+    def __init__(self, rt: Runtime, version: str = "beta"):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._pre = version == "pre"
+        dummy = _Node(None, rt)
+        self._head = rt.volatile(dummy, "queue.head")  # dummy node
+        self._tail = rt.volatile(dummy, "queue.tail")  # last node
+        self._head_lock = rt.lock("queue.head_lock")
+        self._tail_lock = rt.lock("queue.tail_lock")
+
+    def Enqueue(self, value: Any) -> None:
+        node = _Node(value, self._rt)
+        with self._tail_lock:
+            self._tail.get().next.set(node)
+            self._tail.set(node)
+
+    def TryDequeue(self) -> Any:
+        """Remove and return the oldest element, or "Fail" when empty."""
+        if self._pre:
+            # BUG D (Fig. 1): a timed lock acquire; on timeout the method
+            # reports failure although the queue may well be non-empty.
+            if not self._head_lock.acquire_timed():
+                return "Fail"
+        else:
+            self._head_lock.acquire()
+        try:
+            first = self._head.get().next.get()
+            if first is None:
+                return "Fail"
+            self._head.set(first)
+            value = first.value
+            first.value = None  # help GC, like the original algorithm
+            return value
+        finally:
+            self._head_lock.release()
+
+    def TryPeek(self) -> Any:
+        """Return the oldest element without removing it, or "Fail"."""
+        with self._head_lock:
+            first = self._head.get().next.get()
+            return "Fail" if first is None else first.value
+
+    def IsEmpty(self) -> bool:
+        with self._head_lock:
+            return self._head.get().next.get() is None
+
+    def Count(self) -> int:
+        with self._head_lock, self._tail_lock:
+            return len(self._snapshot())
+
+    def ToArray(self) -> tuple:
+        with self._head_lock, self._tail_lock:
+            return tuple(self._snapshot())
+
+    def _snapshot(self) -> list[Any]:
+        out: list[Any] = []
+        node = self._head.get().next.get()
+        while node is not None:
+            out.append(node.value)
+            node = node.next.get()
+        return out

@@ -1,0 +1,120 @@
+"""ConcurrentStack — carrier of bug F.
+
+A Treiber stack: an immutable singly-linked chain hanging off one atomic
+``head`` pointer.  Every mutation is a single CAS on ``head``, so every
+operation — including ``Count`` and ``ToArray``, which read ``head`` once
+and walk the immutable chain — is linearizable.  ``PushRange`` links the
+batch locally and publishes it with one CAS; ``TryPopRange`` unlinks k
+nodes with one CAS.  The CAS retry loops here are the paper's benign
+serializability-violation pattern 1 (Section 5.6): a failed CAS restarts
+the loop, breaking conflict-serializability but not correctness.
+
+**Bug F (pre version)**: ``TryPopRange`` walks the chain to find the new
+head and then *stores* it with a plain write instead of the CAS::
+
+    head.set(node_after_batch)        # BUG: should be CAS(old_head, ...)
+
+A ``Push`` that lands between the walk and the store is silently thrown
+away — elements vanish, observable through ``TryPop``/``ToArray``/
+``Count`` results no serial execution can produce.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["ConcurrentStack"]
+
+
+class _Node:
+    """Immutable once published: ``next`` never changes after the CAS."""
+
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: Any, next_node: "Any") -> None:
+        self.value = value
+        self.next = next_node
+
+
+class ConcurrentStack:
+    """Treiber stack with batched push/pop."""
+
+    def __init__(self, rt: Runtime, version: str = "beta"):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._head = rt.atomic(None, "stack.head")
+
+    def Push(self, value: Any) -> None:
+        while True:
+            head = self._head.get()
+            if self._head.compare_and_swap(head, _Node(value, head)):
+                return
+
+    def PushRange(self, *values: Any) -> None:
+        """Push several values atomically (last value ends up on top)."""
+        if not values:
+            return
+        while True:
+            head = self._head.get()
+            chain = head
+            for value in values:
+                chain = _Node(value, chain)
+            if self._head.compare_and_swap(head, chain):
+                return
+
+    def TryPop(self) -> Any:
+        """Pop the top element, or "Fail" when empty."""
+        while True:
+            head = self._head.get()
+            if head is None:
+                return "Fail"
+            if self._head.compare_and_swap(head, head.next):
+                return head.value
+
+    def TryPopRange(self, count: int) -> tuple:
+        """Pop up to *count* elements atomically; returns them top-first."""
+        if count <= 0:
+            return ()
+        while True:
+            head = self._head.get()
+            if head is None:
+                return ()
+            taken: list[Any] = []
+            node = head
+            while node is not None and len(taken) < count:
+                taken.append(node.value)
+                node = node.next
+            if self._pre:
+                # BUG F: plain store instead of CAS — a concurrent Push
+                # between the read of head and this store is lost.
+                self._head.set(node)
+                return tuple(taken)
+            if self._head.compare_and_swap(head, node):
+                return tuple(taken)
+
+    def TryPeek(self) -> Any:
+        head = self._head.get()
+        return "Fail" if head is None else head.value
+
+    def Clear(self) -> None:
+        self._head.set(None)
+
+    def Count(self) -> int:
+        return len(self._walk(self._head.get()))
+
+    def ToArray(self) -> tuple:
+        """Snapshot, top first (the chain is immutable, so one read of
+        head yields a consistent snapshot)."""
+        return tuple(self._walk(self._head.get()))
+
+    @staticmethod
+    def _walk(node: Any) -> list[Any]:
+        out: list[Any] = []
+        while node is not None:
+            out.append(node.value)
+            node = node.next
+        return out

@@ -1,0 +1,89 @@
+"""CountdownEvent — carrier of bug C.
+
+A countdown event starts with an initial count; ``Signal`` decrements it
+and the event becomes set when the count reaches zero.  ``AddCount`` /
+``TryAddCount`` increase the count, which is only legal while the event
+is not yet set.  ``Wait`` blocks until the count reaches zero.
+
+**Bug C (pre version)**: ``Signal`` performs its decrement as a plain
+read-modify-write instead of a CAS retry loop.  Two concurrent signals
+can both read the same count and both store ``count - 1``, losing one
+signal.  From an initial count of 2, two ``Signal()`` calls then leave the
+count at 1 forever: the event never sets and ``Wait`` blocks although
+*every* serial execution of the same test reaches zero — a stuck history
+with no stuck serial witness, detectable only with the paper's
+generalized (blocking-aware) linearizability.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime
+
+__all__ = ["CountdownEvent", "InvalidOperation"]
+
+
+class InvalidOperation(Exception):
+    """Raised for operations that are illegal in the current state."""
+
+
+class CountdownEvent:
+    """A countdown event with an atomic count."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", initial: int = 2):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        if initial < 0:
+            raise ValueError("initial count must be non-negative")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._count = rt.atomic(initial, "cde.count")
+
+    def CurrentCount(self) -> int:
+        return self._count.get()
+
+    def IsSet(self) -> bool:
+        return self._count.get() == 0
+
+    def Signal(self, n: int = 1) -> bool:
+        """Decrement the count by *n*; True when the event became set.
+
+        Raises :class:`InvalidOperation` when the decrement would go below
+        zero (matching .NET's behaviour).
+        """
+        if n <= 0:
+            raise ValueError("signal count must be positive")
+        while True:
+            count = self._count.get()
+            if count < n:
+                raise InvalidOperation("signal would drop the count below zero")
+            if self._pre:
+                # BUG C: plain read-modify-write; a concurrent Signal can
+                # be lost, so the event may never become set.
+                self._count.set(self._count.get() - n)
+                return count - n == 0
+            if self._count.compare_and_swap(count, count - n):
+                return count - n == 0
+
+    def AddCount(self, n: int = 1) -> None:
+        """Increase the count; illegal once the event is set."""
+        if not self.TryAddCount(n):
+            raise InvalidOperation("cannot add count once the event is set")
+
+    def TryAddCount(self, n: int = 1) -> bool:
+        """Like AddCount but returns False instead of raising."""
+        if n <= 0:
+            raise ValueError("add count must be positive")
+        while True:
+            count = self._count.get()
+            if count == 0:
+                return False
+            if self._count.compare_and_swap(count, count + n):
+                return True
+
+    def Wait(self) -> None:
+        """Block until the count reaches zero."""
+        self._rt.block_until(lambda: self._count.peek() == 0)
+
+    def WaitZero(self) -> bool:
+        """.NET ``Wait(0)``: report whether the event is set right now."""
+        return self._count.get() == 0

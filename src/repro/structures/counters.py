@@ -1,0 +1,86 @@
+"""The counter objects of paper Sections 2.1–2.2.
+
+* :class:`Counter` — the correct counter of Fig. 3: ``inc``, ``dec``,
+  ``get``, ``set_value``, where ``dec`` blocks while the count is zero
+  (like a semaphore), giving the running example for stuck histories.
+* :class:`BuggyCounter1` — Section 2.2.1: ``inc`` "fails to acquire a
+  lock" (unsynchronized read-modify-write), so two concurrent increments
+  can be lost; detectable by classic linearizability (Definition 1).
+* :class:`BuggyCounter2` — Section 2.2.2 / Fig. 4: ``get`` acquires the
+  lock but never releases it, so a later operation blocks forever.  All
+  of its histories are linearizable under Definition 1; only the
+  generalized (blocking-aware) Definition 3 catches the bug — this class
+  is the regression test for that claim.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime
+
+__all__ = ["BuggyCounter1", "BuggyCounter2", "Counter"]
+
+
+class Counter:
+    """Correct lock-based counter; ``dec`` blocks while the count is 0."""
+
+    def __init__(self, rt: Runtime, initial: int = 0) -> None:
+        self._rt = rt
+        self._lock = rt.lock("counter.lock")
+        self._count = rt.volatile(initial, "counter.count")
+
+    def inc(self) -> None:
+        with self._lock:
+            self._count.set(self._count.get() + 1)
+
+    def dec(self) -> None:
+        """Decrement; blocks until the count is positive (semaphore-like)."""
+        while True:
+            self._rt.block_until(lambda: self._count.peek() > 0)
+            with self._lock:
+                if self._count.get() > 0:
+                    self._count.set(self._count.get() - 1)
+                    return
+
+    def get(self) -> int:
+        with self._lock:
+            return self._count.get()
+
+    def set_value(self, value: int) -> None:
+        with self._lock:
+            self._count.set(value)
+
+
+class BuggyCounter1:
+    """Section 2.2.1: ``inc`` misses the lock; increments can be lost."""
+
+    def __init__(self, rt: Runtime, initial: int = 0) -> None:
+        self._rt = rt
+        self._lock = rt.lock("counter.lock")
+        self._count = rt.volatile(initial, "counter.count")
+
+    def inc(self) -> None:
+        # BUG: unsynchronized read-modify-write (no lock, no CAS).
+        self._count.set(self._count.get() + 1)
+
+    def get(self) -> int:
+        with self._lock:
+            return self._count.get()
+
+
+class BuggyCounter2:
+    """Fig. 4: ``get`` forgets to release the lock; later ops block."""
+
+    def __init__(self, rt: Runtime, initial: int = 0) -> None:
+        self._rt = rt
+        self._lock = rt.lock("counter.lock")
+        self._count = rt.volatile(initial, "counter.count")
+
+    def inc(self) -> None:
+        self._lock.acquire()
+        self._count.set(self._count.get() + 1)
+        self._lock.release()
+
+    def get(self) -> int:
+        self._lock.acquire()
+        # BUG: missing release, as in the paper's Figure 4.
+        return self._count.get()

@@ -1,0 +1,83 @@
+"""Lazy initialization — carrier of bug G.
+
+``Lazy`` computes a value on first use.  The beta version uses
+double-checked locking: a volatile *created* flag read on the fast path,
+with the slow path re-checking under a lock before invoking the factory.
+
+**Bug G (pre version)**: the publication order is reversed — the slow
+path publishes ``created = True`` *before* storing the value (and skips
+the lock).  A concurrent reader that sees the flag already set returns
+the default (None) instead of the initialized value, and two racing
+initializers can each run the factory.  Observable violations: ``Value``
+returns None (never possible serially), and ``ToString`` can disagree
+with an ``IsValueCreated`` that returned True earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.runtime import Runtime
+
+__all__ = ["Lazy"]
+
+
+def _default_factory() -> int:
+    return 42
+
+
+class Lazy:
+    """Lazily initialized value with double-checked locking."""
+
+    def __init__(
+        self,
+        rt: Runtime,
+        version: str = "beta",
+        factory: Callable[[], Any] = _default_factory,
+    ):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._factory = factory
+        self._lock = rt.lock("lazy.lock")
+        self._created = rt.volatile(False, "lazy.created")
+        # The value itself is a plain field, safely published through the
+        # volatile created flag (write value, then set created; readers
+        # check created, then read value).  The happens-before race
+        # detector sees no race in the beta version — and a real one in
+        # the pre version, whose publication order is reversed.
+        self._value = rt.plain(None, "lazy.value")
+
+    def Value(self) -> Any:
+        """The lazily created value; first caller runs the factory."""
+        if self._created.get():
+            return self._value.get()
+        if self._pre:
+            # BUG G: no lock, and the created flag is published before the
+            # value — a racing reader sees created=True, value=None.
+            self._created.set(True)
+            value = self._run_factory()
+            self._value.set(value)
+            return value
+        with self._lock:
+            if not self._created.get():
+                self._value.set(self._run_factory())
+                self._created.set(True)
+        return self._value.get()
+
+    def _run_factory(self) -> Any:
+        # Invoking user code is a scheduling point: under CHESS the
+        # factory's own instrumented accesses would let other threads run
+        # while the (potentially slow) initialization is in flight.
+        self._rt.yield_point()
+        return self._factory()
+
+    def IsValueCreated(self) -> bool:
+        return self._created.get()
+
+    def ToString(self) -> str:
+        """String form: the value if created, else a placeholder."""
+        if self._created.get():
+            return str(self._value.get())
+        return "<not created>"

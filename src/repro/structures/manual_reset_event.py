@@ -1,0 +1,102 @@
+"""ManualResetEvent — carrier of the paper's bug A (Figure 9).
+
+A manual-reset event: ``Wait`` blocks until the event is set; ``Set``
+wakes all waiters; ``Reset`` clears the event.  The implementation packs
+the state into one atomic word, as the .NET ManualResetEventSlim does::
+
+    bit 0        : is-set flag
+    bits 1..     : number of registered waiters
+
+``Wait`` registers itself as a waiter with a CAS; ``Set`` reads the
+waiter count, publishes that many wake *pulses*, and clears the count.
+``Set`` has the usual fast path: if the set bit is already on, there is
+nothing to do.
+
+**Bug A (pre version)** is the paper's exact CAS typo: when computing the
+new state word, ``Wait`` *re-reads the shared state* instead of using its
+local copy::
+
+    local = state.get()
+    new   = state.get() + 2      # BUG: should be  local + 2
+
+As the paper explains, the bug needs the state to change between the two
+reads and change *back* before the CAS — precisely the Fig. 9 test
+(Thread 2: Set; Reset; Set).  The corrupted CAS installs the set bit from
+the transient ``Set`` while the event is actually reset; the final ``Set``
+then takes its already-set fast path and never publishes a pulse, so the
+waiter blocks forever.  Line-Up reports this as a stuck history with no
+stuck serial witness (generalized linearizability, Section 5.5).
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime
+
+__all__ = ["ManualResetEvent"]
+
+_SET_BIT = 1
+_WAITER = 2
+
+
+class ManualResetEvent:
+    """A manual-reset event with CAS-based waiter registration."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", initial: bool = False):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._state = rt.atomic(_SET_BIT if initial else 0, "mre.state")
+        self._pulses = rt.atomic(0, "mre.pulses")
+
+    def Set(self) -> None:
+        """Set the event and wake every registered waiter."""
+        while True:
+            state = self._state.get()
+            if state & _SET_BIT:
+                return  # fast path: already set, nothing to do
+            waiters = state // _WAITER
+            # Setting the bit consumes the registered waiters: they are
+            # woken through pulses and need not deregister themselves.
+            if self._state.compare_and_swap(state, _SET_BIT):
+                if waiters:
+                    self._pulses.add(waiters)
+                return
+
+    def Reset(self) -> None:
+        """Clear the set flag (keeps any registered waiters registered)."""
+        while True:
+            state = self._state.get()
+            if not state & _SET_BIT:
+                return
+            if self._state.compare_and_swap(state, state & ~_SET_BIT):
+                return
+
+    def IsSet(self) -> bool:
+        return bool(self._state.get() & _SET_BIT)
+
+    def Wait(self) -> None:
+        """Block until the event is set."""
+        while True:
+            local = self._state.get()
+            if local & _SET_BIT:
+                return
+            if self._pre:
+                # BUG A (paper Fig. 9): the shared state is read a second
+                # time while computing the new value.
+                new = self._state.get() + _WAITER
+            else:
+                new = local + _WAITER
+            if self._state.compare_and_swap(local, new):
+                break
+        # Registered: wait for a pulse from Set.
+        self._rt.block_until(lambda: self._pulses.peek() > 0)
+        while True:
+            pulses = self._pulses.get()
+            if self._pulses.compare_and_swap(pulses, pulses - 1):
+                return
+
+    def WaitOne(self) -> bool:
+        """Alias of Wait that reports success, like .NET's WaitOne()."""
+        self.Wait()
+        return True

@@ -1,0 +1,75 @@
+"""SemaphoreSlim — carrier of bug B.
+
+A counting semaphore: ``Wait`` blocks until a permit is available and
+takes it; ``WaitZero`` (.NET ``Wait(0)``) tries to take a permit without
+blocking; ``Release`` returns permits.  The count is kept in one atomic
+word, with a CAS retry loop on the acquire path (the .NET implementation's
+"timing optimization" around this loop is the benign serializability
+violation the paper lists in Section 5.6, pattern 2).
+
+**Bug B (pre version)**: the fast acquire path performs the decrement as
+an unsynchronized read-modify-write instead of the CAS::
+
+    if count > 0:
+        count.set(count.get() - 1)      # BUG: not atomic
+
+Two concurrent ``Wait(0)`` calls can both pass the positivity check and
+both decrement, driving the count negative (observable through
+``CurrentCount``, which can then return a value no serial execution
+produces) or consuming more permits than were ever released (a later
+``Wait`` blocks although permits should remain — an erroneous-blocking
+violation under generalized linearizability).
+"""
+
+from __future__ import annotations
+
+from repro.runtime import Runtime
+
+__all__ = ["SemaphoreSlim"]
+
+
+class SemaphoreSlim:
+    """A counting semaphore with a CAS-based fast path."""
+
+    def __init__(self, rt: Runtime, version: str = "beta", initial: int = 1):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        if initial < 0:
+            raise ValueError("initial count must be non-negative")
+        self._rt = rt
+        self._pre = version == "pre"
+        self._count = rt.atomic(initial, "sem.count")
+
+    def CurrentCount(self) -> int:
+        return self._count.get()
+
+    def Release(self, n: int = 1) -> int:
+        """Return *n* permits; returns the count before the release."""
+        if n <= 0:
+            raise ValueError("release count must be positive")
+        return self._count.add(n) - n
+
+    def _try_take(self) -> bool:
+        while True:
+            count = self._count.get()
+            if count <= 0:
+                return False
+            if self._pre:
+                # BUG B: unsynchronized decrement; races drive the count
+                # negative / consume permits that were never available.
+                self._count.set(self._count.get() - 1)
+                return True
+            if self._count.compare_and_swap(count, count - 1):
+                return True
+            # CAS lost a race; re-read and retry (never fails spuriously).
+
+    def Wait(self) -> None:
+        """Block until a permit is available, then take it."""
+        while True:
+            if self._try_take():
+                return
+            self._rt.block_until(lambda: self._count.peek() > 0)
+
+    def WaitZero(self) -> bool:
+        """.NET ``Wait(0)``: take a permit iff immediately available."""
+        return self._try_take()

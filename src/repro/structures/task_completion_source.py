@@ -1,0 +1,94 @@
+"""TaskCompletionSource — a one-shot result cell (no seeded defect).
+
+Models the .NET class: a task that is completed exactly once with a
+result, an exception, or cancellation.  The ``TrySet*`` family attempts
+the one-shot transition with a CAS and reports success; the ``Set*``
+family raises when the task was already completed.  ``Wait`` blocks
+until completion and then surfaces the outcome; ``TryResult`` polls.
+
+Both versions are correct — in the paper's Table 2 several classes
+produced no violations at all, and this class plays that role here:
+its campaign rows demonstrate Line-Up passing cleanly on subtle
+CAS-based code.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import Runtime
+
+__all__ = ["InvalidOperation", "TaskCanceled", "TaskCompletionSource", "TaskFailed"]
+
+
+class InvalidOperation(Exception):
+    """Raised by Set* when the task is already completed."""
+
+
+class TaskCanceled(Exception):
+    """Surfaced by Wait when the task was canceled."""
+
+
+class TaskFailed(Exception):
+    """Surfaced by Wait when the task holds an exception."""
+
+
+_PENDING = ("pending", None)
+
+
+class TaskCompletionSource:
+    """One-shot completion cell with CAS transitions."""
+
+    def __init__(self, rt: Runtime, version: str = "beta"):
+        if version not in ("beta", "pre"):
+            raise ValueError(f"unknown version {version!r}")
+        self._rt = rt
+        self._state = rt.atomic(_PENDING, "tcs.state")
+
+    # -- transitions ------------------------------------------------------
+
+    def _try_transition(self, state: tuple) -> bool:
+        return self._state.compare_and_swap(_PENDING, state)
+
+    def TrySetResult(self, value: Any = 0) -> bool:
+        return self._try_transition(("result", value))
+
+    def TrySetException(self, message: str = "boom") -> bool:
+        return self._try_transition(("exception", message))
+
+    def TrySetCanceled(self) -> bool:
+        return self._try_transition(("canceled", None))
+
+    def SetResult(self, value: Any = 0) -> None:
+        if not self.TrySetResult(value):
+            raise InvalidOperation("task already completed")
+
+    def SetException(self, message: str = "boom") -> None:
+        if not self.TrySetException(message):
+            raise InvalidOperation("task already completed")
+
+    def SetCanceled(self) -> None:
+        if not self.TrySetCanceled():
+            raise InvalidOperation("task already completed")
+
+    # -- observers ----------------------------------------------------------
+
+    def Exception(self) -> Any:
+        """The stored exception message, or None."""
+        kind, payload = self._state.get()
+        return payload if kind == "exception" else None
+
+    def TryResult(self) -> Any:
+        """Poll: the result if completed with one, else "Fail"."""
+        kind, payload = self._state.get()
+        return payload if kind == "result" else "Fail"
+
+    def Wait(self) -> Any:
+        """Block until completed; return the result or raise the outcome."""
+        self._rt.block_until(lambda: self._state.peek() != _PENDING)
+        kind, payload = self._state.get()
+        if kind == "result":
+            return payload
+        if kind == "canceled":
+            raise TaskCanceled()
+        raise TaskFailed(payload)

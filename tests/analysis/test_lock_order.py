@@ -1,0 +1,160 @@
+"""Lock-order deadlock-potential analysis."""
+
+from __future__ import annotations
+
+from repro.analysis.lock_order import LockOrderAnalyzer
+from repro.runtime import DFSStrategy
+
+
+def analyze(scheduler, factory, cap=None):
+    analyzer = LockOrderAnalyzer()
+    strategy = DFSStrategy()
+    count = 0
+    while strategy.more():
+        outcome = scheduler.execute(factory(), strategy)
+        analyzer.feed_execution(outcome.accesses)
+        count += 1
+        if cap and count >= cap:
+            break
+    return analyzer.report()
+
+
+class TestTruePositives:
+    def test_opposite_order_detected(self, scheduler, runtime):
+        def factory():
+            l1, l2 = runtime.lock("L1"), runtime.lock("L2")
+
+            def forward():
+                with l1:
+                    with l2:
+                        pass
+
+            def backward():
+                with l2:
+                    with l1:
+                        pass
+
+            return [forward, backward]
+
+        report = analyze(scheduler, factory)
+        assert report.deadlock_potential
+        assert set(report.cycle) == {"L1", "L2"}
+        assert "potential deadlock" in report.describe()
+
+    def test_three_lock_cycle(self, scheduler, runtime):
+        def factory():
+            locks = [runtime.lock(f"M{i}") for i in range(3)]
+
+            def make(i):
+                def body():
+                    with locks[i]:
+                        with locks[(i + 1) % 3]:
+                            pass
+
+                return body
+
+            return [make(0), make(1), make(2)]
+
+        report = analyze(scheduler, factory, cap=400)
+        assert report.deadlock_potential
+        assert len(report.cycle) == 3
+
+
+class TestTrueNegatives:
+    def test_consistent_order_clean(self, scheduler, runtime):
+        def factory():
+            l1, l2 = runtime.lock("L1"), runtime.lock("L2")
+
+            def body():
+                with l1:
+                    with l2:
+                        pass
+
+            return [body, body]
+
+        report = analyze(scheduler, factory)
+        assert not report.deadlock_potential
+        # One L1->L2 edge per execution's fresh lock pair; never inverted.
+        assert report.edges >= 1
+
+    def test_disjoint_locks_clean(self, scheduler, runtime):
+        def factory():
+            l1, l2 = runtime.lock("L1"), runtime.lock("L2")
+            return [lambda: l1.acquire() or l1.release(),
+                    lambda: l2.acquire() or l2.release()]
+
+        report = analyze(scheduler, factory)
+        assert not report.deadlock_potential
+        assert report.edges == 0
+
+    def test_registry_structures_have_clean_lock_order(self, scheduler):
+        """The beta collections acquire their stripes in a fixed order;
+        the lock-order graph stays acyclic over small workloads."""
+        from repro.core import FiniteTest, Invocation, SystemUnderTest, TestHarness
+        from repro.structures import get_class
+
+        entry = get_class("ConcurrentDictionary")
+        subject = SystemUnderTest(entry.factory("beta"), "dict")
+        test = FiniteTest.of(
+            [
+                [Invocation("TryAdd", (10,)), Invocation("Count")],
+                [Invocation("TryAdd", (20,)), Invocation("Clear")],
+            ]
+        )
+        analyzer = LockOrderAnalyzer()
+        with TestHarness(subject, scheduler=scheduler) as harness:
+            for _history, outcome in harness.explore_concurrent(
+                test, DFSStrategy(preemption_bound=1), max_executions=600
+            ):
+                analyzer.feed_execution(outcome.accesses)
+        report = analyzer.report()
+        assert not report.deadlock_potential
+        assert report.edges > 0  # Count/Clear do hold stripes together
+
+
+class TestAccumulation:
+    def test_edges_accumulate_across_executions(self, scheduler, runtime):
+        """The inversion only shows when combining two executions that
+        each take the locks in one order."""
+        analyzer = LockOrderAnalyzer()
+
+        def run(order):
+            def factory():
+                l1, l2 = runtime.lock("L1"), runtime.lock("L2")
+
+                def body():
+                    first, second = (l1, l2) if order else (l2, l1)
+                    with first:
+                        with second:
+                            pass
+
+                return [body]
+
+            outcome = scheduler.execute(factory(), DFSStrategy())
+            analyzer.feed_execution(outcome.accesses)
+
+        run(True)
+        assert not analyzer.report().deadlock_potential
+        run(False)
+        # Lock *names* repeat but the location ids differ per instance, so
+        # separate instances never alias: recreate shared instances.
+        # (This asserts the id-based precision of the analyzer.)
+        assert not analyzer.report().deadlock_potential
+
+    def test_shared_instances_accumulate(self, scheduler, runtime):
+        analyzer = LockOrderAnalyzer()
+        l1, l2 = runtime.lock("L1"), runtime.lock("L2")
+
+        def factory(order):
+            def body():
+                first, second = (l1, l2) if order else (l2, l1)
+                with first:
+                    with second:
+                        pass
+
+            return [body]
+
+        for order in (True, False):
+            outcome = scheduler.execute(factory(order), DFSStrategy())
+            analyzer.feed_execution(outcome.accesses)
+        assert analyzer.report().deadlock_potential

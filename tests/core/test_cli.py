@@ -1,0 +1,147 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import CliError, main, parse_invocation, parse_test
+from repro.core import Invocation
+
+
+class TestParsing:
+    def test_bare_method(self):
+        assert parse_invocation("TryTake") == Invocation("TryTake")
+
+    def test_method_with_literal_args(self):
+        assert parse_invocation("Add(200)") == Invocation("Add", (200,))
+        assert parse_invocation("Put('k', 2)") == Invocation("Put", ("k", 2))
+        assert parse_invocation("Flag(True)") == Invocation("Flag", (True,))
+
+    def test_whitespace_tolerated(self):
+        assert parse_invocation("  Add( 1 ) ") == Invocation("Add", (1,))
+
+    @pytest.mark.parametrize("bad", ["", "1+2", "Add(x)", "Add(k=1)", "a.b()"])
+    def test_bad_invocations_rejected(self, bad):
+        with pytest.raises(CliError):
+            parse_invocation(bad)
+
+    def test_parse_matrix(self):
+        test = parse_test("Add(1); TryTake | TryTake")
+        assert test.n_threads == 2
+        assert test.columns[0] == (Invocation("Add", (1,)), Invocation("TryTake"))
+        assert test.columns[1] == (Invocation("TryTake"),)
+
+    def test_parse_matrix_with_init_final(self):
+        test = parse_test("TryTake", init="Add(1); Add(2)", final="Count")
+        assert test.init == (Invocation("Add", (1,)), Invocation("Add", (2,)))
+        assert test.final == (Invocation("Count"),)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(CliError):
+            parse_test(" | ")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BlockingCollection" in out
+        assert "root causes:" in out
+
+    def test_list_verbose_shows_alphabet(self, capsys):
+        assert main(["list", "-v"]) == 0
+        assert "Enqueue(10)" in capsys.readouterr().out
+
+    def test_check_pass_returns_zero(self, capsys):
+        code = main(
+            ["check", "ConcurrentQueue", "--test", "Enqueue(1) | TryDequeue"]
+        )
+        assert code == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_check_fail_returns_one(self, capsys):
+        code = main(
+            ["check", "BlockingCollection", "--version", "pre", "--cause", "D"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "TryTake" in out
+
+    def test_check_random_strategy(self, capsys):
+        code = main(
+            [
+                "check", "ConcurrentQueue", "--test", "Enqueue(1) | TryDequeue",
+                "--strategy", "random", "--schedules", "40",
+            ]
+        )
+        assert code == 0
+
+    def test_check_with_minimize(self, capsys):
+        code = main(
+            [
+                "check", "SemaphoreSlim", "--version", "pre", "--cause", "B",
+                "--minimize",
+            ]
+        )
+        assert code == 1
+        assert "minimal failing dimension" in capsys.readouterr().out
+
+    def test_check_unknown_class(self, capsys):
+        assert main(["check", "NoSuchClass", "--test", "X"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_check_missing_test(self, capsys):
+        assert main(["check", "ConcurrentQueue"]) == 2
+
+    def test_check_unknown_cause(self, capsys):
+        assert main(["check", "ConcurrentQueue", "--cause", "Z"]) == 2
+
+    def test_observations_to_stdout(self, capsys):
+        code = main(
+            ["observations", "ConcurrentQueue", "--test", "Enqueue(1) | TryDequeue"]
+        )
+        assert code == 0
+        assert "<observationset" in capsys.readouterr().out
+
+    def test_observations_to_file(self, capsys, tmp_path):
+        path = str(tmp_path / "obs.xml")
+        code = main(
+            [
+                "observations", "ConcurrentQueue",
+                "--test", "Enqueue(1) | TryDequeue", "-o", path,
+            ]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            assert "<observationset" in handle.read()
+
+    def test_campaign_single_class(self, capsys):
+        code = main(
+            [
+                "campaign", "Lazy", "--versions", "pre", "--samples", "1",
+                "--rows", "2", "--cols", "2", "--schedules", "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Lazy" in out
+        assert code == 1  # the pre version carries bug G
+
+
+class TestReproduceCommand:
+    def test_reproduce_writes_report(self, capsys, tmp_path):
+        path = str(tmp_path / "report.md")
+        code = main(
+            [
+                "reproduce", "--samples", "1", "--rows", "1", "--cols", "2",
+                "--schedules", "40", "-o", path,
+            ]
+        )
+        assert code == 0
+        with open(path, encoding="utf-8") as handle:
+            report = handle.read()
+        assert "# Line-Up reproduction report" in report
+        assert "Table 1" in report and "Table 2" in report
+        assert "Section 5.6" in report and "Section 6" in report
+        # The triage table must show the strict/relaxed split.
+        assert "| ConcurrentBag | beta | H | nondeterministic | FAIL | PASS |" in report

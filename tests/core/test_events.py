@@ -1,0 +1,65 @@
+"""Events, invocations, responses, operations."""
+
+from __future__ import annotations
+
+from repro.core.events import Event, Invocation, Operation, Response
+
+
+class TestInvocation:
+    def test_equality_and_hash(self):
+        assert Invocation("Add", (1,)) == Invocation("Add", (1,))
+        assert Invocation("Add", (1,)) != Invocation("Add", (2,))
+        assert hash(Invocation("Add", (1,))) == hash(Invocation("Add", (1,)))
+
+    def test_str_no_args(self):
+        assert str(Invocation("TryTake")) == "TryTake()"
+
+    def test_str_with_args(self):
+        assert str(Invocation("Add", (200,))) == "Add(200)"
+        assert str(Invocation("Put", ("k", 2))) == "Put('k', 2)"
+
+
+class TestResponse:
+    def test_of_and_str(self):
+        assert str(Response.of(None)) == "ok"
+        assert str(Response.of(7)) == "ok(7)"
+        assert str(Response.of("Fail")) == "ok('Fail')"
+
+    def test_raised(self):
+        response = Response.raised(ValueError("x"))
+        assert response.kind == "raised"
+        assert response.value == "ValueError"
+        assert str(response) == "raised ValueError"
+
+    def test_exception_responses_compare_by_type_name(self):
+        assert Response.raised(ValueError("a")) == Response.raised(ValueError("b"))
+        assert Response.raised(ValueError("a")) != Response.raised(KeyError("a"))
+
+
+class TestEvent:
+    def test_call_and_return_constructors(self):
+        call = Event.call(0, 2, Invocation("get"))
+        ret = Event.ret(0, 2, Response.of(1))
+        assert call.is_call and not call.is_return
+        assert ret.is_return and not ret.is_call
+        assert call.op_index == ret.op_index == 2
+
+    def test_str_uses_thread_names(self):
+        call = Event.call(1, 0, Invocation("inc"))
+        assert "B" in str(call)
+
+
+class TestOperation:
+    def test_pending_and_complete(self):
+        pending = Operation(0, 0, Invocation("Take"), None, 0, None)
+        complete = Operation(0, 0, Invocation("Take"), Response.of(1), 0, 1)
+        assert pending.pending and not pending.complete
+        assert complete.complete and not complete.pending
+
+    def test_key_identity(self):
+        op = Operation(2, 5, Invocation("x"), None, 0, None)
+        assert op.key == (2, 5)
+
+    def test_str_shows_pending_marker(self):
+        pending = Operation(0, 0, Invocation("Take"), None, 0, None)
+        assert "?" in str(pending)

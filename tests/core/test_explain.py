@@ -1,0 +1,109 @@
+"""Violation diagnostics (explain.py)."""
+
+from __future__ import annotations
+
+from repro.core import (
+    CheckConfig,
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    check,
+    render_violation,
+)
+from repro.core.explain import explain_violation
+from repro.structures import get_class
+from repro.structures.counters import BuggyCounter1
+
+INC = Invocation("inc")
+GET = Invocation("get")
+
+
+class TestOrderingConflicts:
+    def _violation(self, scheduler):
+        return check(
+            SystemUnderTest(BuggyCounter1, "c"),
+            FiniteTest.of([[INC, GET], [INC]]),
+            scheduler=scheduler,
+        )
+
+    def test_counter_diagnosed_as_ordering(self, scheduler):
+        result = self._violation(scheduler)
+        diagnosis = explain_violation(result.violation, result.observations)
+        assert diagnosis.kind == "ordering-conflict"
+        assert diagnosis.ordering_conflicts
+
+    def test_conflict_pair_is_genuine(self, scheduler):
+        result = self._violation(scheduler)
+        diagnosis = explain_violation(result.violation, result.observations)
+        history = result.violation.history
+        for candidate, first, second in diagnosis.ordering_conflicts:
+            # H really orders first before second ...
+            assert history.precedes(
+                history.operation_map[first.key],
+                history.operation_map[second.key],
+            )
+            # ... and the candidate really inverts them.
+            assert candidate.positions[first.key] >= candidate.positions[second.key]
+
+    def test_every_candidate_gets_a_conflict(self, scheduler):
+        result = self._violation(scheduler)
+        diagnosis = explain_violation(result.violation, result.observations)
+        candidates = result.observations.full_candidates(
+            result.violation.history.profile
+        )
+        assert len(diagnosis.ordering_conflicts) == len(candidates)
+
+
+class TestResponseMismatches:
+    def test_lazy_none_response_diagnosed(self, scheduler):
+        entry = get_class("Lazy")
+        result = check(
+            SystemUnderTest(entry.factory("pre"), "lazy"),
+            entry.causes[0].witness_test,
+            scheduler=scheduler,
+        )
+        diagnosis = explain_violation(result.violation, result.observations)
+        assert diagnosis.kind == "response-mismatch"
+        assert diagnosis.response_mismatches
+        # The offending op observed None where serial runs give 42.
+        op, allowed = diagnosis.response_mismatches[0]
+        assert any("42" in str(value) for value in allowed)
+
+    def test_describe_readable(self, scheduler):
+        entry = get_class("Lazy")
+        result = check(
+            SystemUnderTest(entry.factory("pre"), "lazy"),
+            entry.causes[0].witness_test,
+            scheduler=scheduler,
+        )
+        diagnosis = explain_violation(result.violation, result.observations)
+        text = diagnosis.describe()
+        assert "no serial execution produces" in text
+        assert "observed" in text
+
+
+class TestBlockingDiagnosis:
+    def test_figure9_diagnosed_as_blocking(self, scheduler):
+        entry = get_class("ManualResetEvent")
+        result = check(
+            SystemUnderTest(entry.factory("pre"), "mre"),
+            entry.causes[0].witness_test,
+            scheduler=scheduler,
+        )
+        diagnosis = explain_violation(result.violation, result.observations)
+        assert diagnosis.kind == "blocking"
+        assert diagnosis.pending_op is not None
+        assert diagnosis.pending_op.invocation.method == "Wait"
+        assert "blocked forever" in diagnosis.describe()
+
+
+class TestReportIntegration:
+    def test_report_contains_diagnosis(self, scheduler):
+        result = check(
+            SystemUnderTest(BuggyCounter1, "c"),
+            FiniteTest.of([[INC, GET], [INC]]),
+            scheduler=scheduler,
+        )
+        text = render_violation(result.violation, result.observations)
+        assert "Diagnosis:" in text
+        assert "forbids" in text or "blocked forever" in text

@@ -1,0 +1,137 @@
+"""Observation files (Fig. 7): rendering, round-tripping, history lines."""
+
+from __future__ import annotations
+
+from repro.core import (
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    TestHarness,
+    observations_from_xml,
+    observations_to_xml,
+)
+from repro.core.history import SerialHistory, SerialStep
+from repro.core.events import Response
+from repro.core.observations import (
+    _op_ids_for_profile,
+    history_line,
+    load_observations,
+    save_observations,
+)
+from repro.core.spec import ObservationSet
+from repro.structures.counters import Counter
+
+
+def make_observations(scheduler) -> ObservationSet:
+    test = FiniteTest.of(
+        [[Invocation("inc"), Invocation("get")], [Invocation("set_value", (5,))]]
+    )
+    with TestHarness(SystemUnderTest(Counter, "c"), scheduler=scheduler) as harness:
+        observations, _ = harness.run_serial(test)
+    return observations
+
+
+class TestXmlFormat:
+    def test_sections_group_by_profile(self, scheduler):
+        observations = make_observations(scheduler)
+        xml = observations_to_xml(observations)
+        assert xml.count("<observation>") == len(observations.profiles())
+        assert '<thread id="A">' in xml
+        assert '<thread id="B">' in xml
+
+    def test_ops_carry_args_and_results(self, scheduler):
+        xml = observations_to_xml(make_observations(scheduler))
+        assert 'name="set_value"' in xml
+        assert 'args="(5,)"' in xml
+        assert 'result="' in xml
+
+    def test_history_lines_use_bracket_syntax(self, scheduler):
+        xml = observations_to_xml(make_observations(scheduler))
+        assert "1[ ]1" in xml
+
+    def test_stuck_histories_marked(self, scheduler):
+        test = FiniteTest.of([[Invocation("dec")]])
+        with TestHarness(SystemUnderTest(Counter, "c"), scheduler=scheduler) as h:
+            observations, _ = h.run_serial(test)
+        xml = observations_to_xml(observations)
+        assert "#" in xml
+        assert "B</thread>" in xml or ">1B<" in xml  # blocked-op marker
+
+
+class TestRoundTrip:
+    def test_full_roundtrip_preserves_histories(self, scheduler):
+        observations = make_observations(scheduler)
+        xml = observations_to_xml(observations)
+        parsed = observations_from_xml(xml)
+        assert {h.tokens() for h in observations} == {h.tokens() for h in parsed}
+        assert parsed.n_threads == observations.n_threads
+
+    def test_roundtrip_with_stuck_histories(self, scheduler):
+        test = FiniteTest.of([[Invocation("dec")], [Invocation("inc")]])
+        with TestHarness(SystemUnderTest(Counter, "c"), scheduler=scheduler) as h:
+            observations, _ = h.run_serial(test)
+        parsed = observations_from_xml(observations_to_xml(observations))
+        assert {h.tokens() for h in observations} == {h.tokens() for h in parsed}
+        assert len(parsed.stuck) == len(observations.stuck)
+
+    def test_roundtrip_with_exception_responses(self):
+        observations = ObservationSet(1)
+        observations.add(
+            SerialHistory(
+                (SerialStep(0, Invocation("pop"), Response("raised", "Empty")),)
+            )
+        )
+        parsed = observations_from_xml(observations_to_xml(observations))
+        assert parsed.full[0].steps[0].response == Response("raised", "Empty")
+
+    def test_file_roundtrip(self, scheduler, tmp_path):
+        observations = make_observations(scheduler)
+        path = str(tmp_path / "observations.xml")
+        save_observations(observations, path)
+        parsed = load_observations(path)
+        assert {h.tokens() for h in observations} == {h.tokens() for h in parsed}
+
+    def test_string_values_roundtrip(self):
+        observations = ObservationSet(1)
+        observations.add(
+            SerialHistory(
+                (SerialStep(0, Invocation("TryTake"), Response.of("Fail")),)
+            )
+        )
+        parsed = observations_from_xml(observations_to_xml(observations))
+        assert parsed.full[0].steps[0].response.value == "Fail"
+
+
+class TestHistoryLine:
+    def test_serial_line(self):
+        serial = SerialHistory(
+            (
+                SerialStep(0, Invocation("a"), Response.of(None)),
+                SerialStep(1, Invocation("b"), Response.of(None)),
+            )
+        )
+        ids = _op_ids_for_profile(serial.profile_for(2))
+        assert history_line(serial, ids) == "1[ ]1 2[ ]2"
+
+    def test_concurrent_line_shows_interleaving(self):
+        from repro.core.events import Event
+        from repro.core.history import History
+
+        history = History(
+            [
+                Event.call(0, 0, Invocation("a")),
+                Event.call(1, 0, Invocation("b")),
+                Event.ret(0, 0, Response.of(None)),
+                Event.ret(1, 0, Response.of(None)),
+            ],
+            2,
+        )
+        ids = _op_ids_for_profile(history.profile)
+        assert history_line(history, ids) == "1[ 2[ ]1 ]2"
+
+    def test_stuck_line_ends_with_hash(self):
+        stuck = SerialHistory(
+            (SerialStep(0, Invocation("take"), None),), stuck=True
+        )
+        ids = _op_ids_for_profile(stuck.profile_for(1))
+        assert history_line(stuck, ids) == "1[ #"

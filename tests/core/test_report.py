@@ -1,0 +1,90 @@
+"""Violation report rendering (Fig. 7 bottom)."""
+
+from __future__ import annotations
+
+from repro.core import (
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    check,
+    render_check_result,
+    render_violation,
+)
+from repro.structures import get_class
+from repro.structures.counters import BuggyCounter1, Counter
+
+INC = Invocation("inc")
+GET = Invocation("get")
+
+
+class TestFullViolationReport:
+    def _failing_result(self, scheduler):
+        return check(
+            SystemUnderTest(BuggyCounter1, "c"),
+            FiniteTest.of([[INC, GET], [INC]]),
+            scheduler=scheduler,
+        )
+
+    def test_report_includes_test_matrix(self, scheduler):
+        result = self._failing_result(scheduler)
+        text = render_violation(result.violation, result.observations)
+        assert "Thread A" in text and "Thread B" in text
+
+    def test_report_includes_interleaving(self, scheduler):
+        result = self._failing_result(scheduler)
+        text = render_violation(result.violation, result.observations)
+        assert "<history>" in text
+        assert "[" in text
+
+    def test_report_shows_matching_serial_histories(self, scheduler):
+        result = self._failing_result(scheduler)
+        text = render_violation(result.violation, result.observations)
+        assert "Serial histories with matching" in text
+
+    def test_check_result_rendering(self, scheduler):
+        result = self._failing_result(scheduler)
+        text = render_check_result(result)
+        assert "verdict: FAIL" in text
+        assert "phase 1:" in text and "phase 2:" in text
+
+
+class TestStuckViolationReport:
+    def test_blocking_report_names_stuck_op(self, scheduler):
+        mre = get_class("ManualResetEvent")
+        cause = mre.causes[0]
+        result = check(
+            SystemUnderTest(mre.factory("pre"), "mre"),
+            cause.witness_test,
+            scheduler=scheduler,
+        )
+        assert result.failed
+        text = render_violation(result.violation, result.observations)
+        assert "Erroneous blocking" in text
+        assert "Wait" in text
+
+
+class TestNondeterminismReport:
+    def test_nondeterminism_report_shows_histories(self, scheduler):
+        cts = get_class("CancellationTokenSource")
+        cause = cts.causes[0]
+        result = check(
+            SystemUnderTest(cts.factory("beta"), "cts"),
+            cause.witness_test,
+            scheduler=scheduler,
+        )
+        assert result.failed
+        text = render_violation(result.violation, result.observations)
+        assert "nondeterministic" in text
+        assert "history 1:" in text and "history 2:" in text
+
+
+class TestPassReport:
+    def test_pass_summary(self, scheduler):
+        result = check(
+            SystemUnderTest(Counter, "c"),
+            FiniteTest.of([[INC], [GET]]),
+            scheduler=scheduler,
+        )
+        text = render_check_result(result)
+        assert "verdict: PASS" in text
+        assert "Line-Up encountered" not in text

@@ -1,0 +1,107 @@
+"""ObservationSet: grouping, determinism gate, candidate lookup."""
+
+from __future__ import annotations
+
+from repro.core.events import Invocation, Response
+from repro.core.history import SerialHistory, SerialStep
+from repro.core.spec import ObservationSet
+
+
+def step(thread, name, value="_none", *, pending=False, args=()):
+    response = None if pending else Response.of(None if value == "_none" else value)
+    return SerialStep(thread, Invocation(name, args), response)
+
+
+def serial(*steps, stuck=False):
+    return SerialHistory(tuple(steps), stuck=stuck)
+
+
+class TestConstruction:
+    def test_add_deduplicates(self):
+        obs = ObservationSet(2)
+        h = serial(step(0, "inc"), step(1, "get", 1))
+        assert obs.add(h)
+        assert not obs.add(h)
+        assert len(obs) == 1
+
+    def test_full_and_stuck_partitioned(self):
+        obs = ObservationSet(2)
+        obs.add(serial(step(0, "inc")))
+        obs.add(serial(step(1, "take", pending=True), stuck=True))
+        assert len(obs.full) == 1
+        assert len(obs.stuck) == 1
+
+    def test_candidates_by_profile(self):
+        obs = ObservationSet(2)
+        h1 = serial(step(0, "inc"), step(1, "get", 1))
+        h2 = serial(step(1, "get", 1), step(0, "inc"))  # same profile
+        h3 = serial(step(0, "inc"), step(1, "get", 0))  # different result
+        for h in (h1, h2, h3):
+            obs.add(h)
+        same = obs.full_candidates(h1.profile_for(2))
+        assert len(same) == 2
+        other = obs.full_candidates(h3.profile_for(2))
+        assert len(other) == 1
+
+
+class TestDeterminismGate:
+    def test_deterministic_when_responses_consistent(self):
+        obs = ObservationSet(2)
+        obs.add(serial(step(0, "inc"), step(1, "get", 1)))
+        obs.add(serial(step(1, "get", 0), step(0, "inc")))
+        assert obs.is_deterministic
+
+    def test_same_prefix_different_response_is_nondeterministic(self):
+        obs = ObservationSet(2)
+        obs.add(serial(step(0, "roll", 1)))
+        obs.add(serial(step(0, "roll", 2)))
+        assert not obs.is_deterministic
+        witness = obs.nondeterminism
+        assert witness is not None
+        assert witness.invocation == Invocation("roll")
+        assert "behaved" in witness.describe()
+
+    def test_return_vs_block_is_nondeterministic(self):
+        obs = ObservationSet(1)
+        obs.add(serial(step(0, "take", 5)))
+        obs.add(serial(step(0, "take", pending=True), stuck=True))
+        assert not obs.is_deterministic
+
+    def test_different_calls_after_same_prefix_is_fine(self):
+        # The *client* choosing different continuations is not object
+        # nondeterminism: common prefix ends in a return.
+        obs = ObservationSet(2)
+        obs.add(serial(step(0, "inc"), step(0, "get", 1)))
+        obs.add(serial(step(0, "inc"), step(1, "get", 1)))
+        assert obs.is_deterministic
+
+    def test_nondeterminism_deep_in_history(self):
+        obs = ObservationSet(2)
+        prefix = [step(0, "a"), step(1, "b"), step(0, "c", 1)]
+        obs.add(serial(*prefix, step(1, "d", 10)))
+        obs.add(serial(*prefix, step(1, "d", 20)))
+        assert not obs.is_deterministic
+        assert obs.nondeterminism.invocation == Invocation("d")
+
+    def test_exception_vs_value_is_nondeterministic(self):
+        obs = ObservationSet(1)
+        obs.add(serial(SerialStep(0, Invocation("pop"), Response.of(1))))
+        obs.add(serial(SerialStep(0, Invocation("pop"), Response("raised", "Empty"))))
+        assert not obs.is_deterministic
+
+    def test_prefix_full_vs_longer_full_is_fine(self):
+        # One history being a prefix of another (different tests would
+        # produce this) does not by itself violate determinism.
+        obs = ObservationSet(1)
+        obs.add(serial(step(0, "a", 1)))
+        obs.add(serial(step(0, "a", 1), step(0, "b", 2)))
+        assert obs.is_deterministic
+
+
+class TestProfiles:
+    def test_profiles_listed_once(self):
+        obs = ObservationSet(2)
+        obs.add(serial(step(0, "inc"), step(1, "get", 1)))
+        obs.add(serial(step(1, "get", 1), step(0, "inc")))
+        obs.add(serial(step(1, "get", 0), step(0, "inc")))
+        assert len(obs.profiles()) == 2

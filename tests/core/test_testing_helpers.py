@@ -1,0 +1,68 @@
+"""The repro.testing assertion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FiniteTest, Invocation
+from repro.structures.counters import BuggyCounter1, Counter
+from repro.testing import (
+    assert_linearizable,
+    assert_not_linearizable,
+    assert_test_fails,
+    assert_test_passes,
+)
+
+INC = Invocation("inc")
+GET = Invocation("get")
+
+
+class TestCampaignAssertions:
+    def test_correct_counter_asserts_clean(self, scheduler):
+        assert_linearizable(
+            Counter, [INC, GET], rows=2, cols=2, samples=6, scheduler=scheduler
+        )
+
+    def test_buggy_counter_raises_with_report(self, scheduler):
+        with pytest.raises(AssertionError) as excinfo:
+            assert_linearizable(
+                BuggyCounter1, [INC, GET], rows=2, cols=2, samples=10,
+                scheduler=scheduler,
+            )
+        message = str(excinfo.value)
+        assert "not deterministically linearizable" in message
+        assert "Timeline:" in message  # the full report travels with it
+
+    def test_not_linearizable_returns_failure(self, scheduler):
+        result = assert_not_linearizable(
+            BuggyCounter1, [INC, GET], rows=2, cols=2, samples=10,
+            scheduler=scheduler,
+        )
+        assert result.failed
+        assert result.violation is not None
+
+    def test_not_linearizable_raises_on_clean_subject(self, scheduler):
+        with pytest.raises(AssertionError):
+            assert_not_linearizable(
+                Counter, [INC, GET], rows=2, cols=2, samples=5,
+                scheduler=scheduler,
+            )
+
+
+class TestSingleTestAssertions:
+    TEST = FiniteTest.of([[INC, GET], [INC]])
+
+    def test_passes(self, scheduler):
+        assert_test_passes(Counter, self.TEST, scheduler=scheduler)
+
+    def test_passes_raises_on_bug(self, scheduler):
+        with pytest.raises(AssertionError):
+            assert_test_passes(BuggyCounter1, self.TEST, scheduler=scheduler)
+
+    def test_fails(self, scheduler):
+        result = assert_test_fails(BuggyCounter1, self.TEST, scheduler=scheduler)
+        assert result.violation.kind == "non-linearizable-history"
+
+    def test_fails_raises_on_clean(self, scheduler):
+        with pytest.raises(AssertionError):
+            assert_test_fails(Counter, self.TEST, scheduler=scheduler)

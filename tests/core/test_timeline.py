@@ -1,0 +1,74 @@
+"""ASCII timeline rendering."""
+
+from __future__ import annotations
+
+from repro.core import FiniteTest, Invocation, SystemUnderTest, check
+from repro.core.events import Event, Invocation as Inv, Response
+from repro.core.history import History
+from repro.core.timeline import render_timeline
+from repro.structures.counters import BuggyCounter1
+
+
+def call(t, i, name, *args):
+    return Event.call(t, i, Inv(name, args))
+
+
+def ret(t, i, value=None):
+    return Event.ret(t, i, Response.of(value))
+
+
+class TestRendering:
+    def test_one_lane_per_thread(self):
+        history = History(
+            [call(0, 0, "a"), ret(0, 0), call(1, 0, "b"), ret(1, 0)], 2
+        )
+        lines = render_timeline(history).splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("A ")
+        assert lines[1].startswith("B ")
+
+    def test_labels_include_results(self):
+        history = History([call(0, 0, "get"), ret(0, 0, 7)], 1)
+        text = render_timeline(history)
+        assert "get()" in text
+        assert "7" in text
+
+    def test_exception_labelled(self):
+        history = History(
+            [call(0, 0, "pop"), Event.ret(0, 0, Response("raised", "Empty"))], 1
+        )
+        assert "!> Empty" in render_timeline(history)
+
+    def test_sequential_ops_do_not_overlap_on_page(self):
+        history = History(
+            [call(0, 0, "a"), ret(0, 0), call(1, 0, "b"), ret(1, 0)], 2
+        )
+        lane_a, lane_b = render_timeline(history).splitlines()
+        # B's interval starts at or after A's interval ends.
+        assert lane_a.rstrip().rindex("|") <= lane_b.index("|", 2)
+
+    def test_overlapping_ops_overlap_on_page(self):
+        history = History(
+            [call(0, 0, "a"), call(1, 0, "b"), ret(0, 0), ret(1, 0)], 2
+        )
+        lane_a, lane_b = render_timeline(history).splitlines()
+        a_start, a_end = lane_a.index("|"), lane_a.rstrip().rindex("|")
+        b_start = lane_b.index("|", 2)
+        assert a_start < b_start < a_end
+
+    def test_stuck_history_marked(self):
+        history = History([call(0, 0, "wait")], 1, stuck=True)
+        text = render_timeline(history)
+        assert "..." in text
+        assert "stuck" in text
+
+    def test_included_in_violation_report(self, scheduler):
+        from repro.core import render_violation
+
+        result = check(
+            SystemUnderTest(BuggyCounter1, "c"),
+            FiniteTest.of([[Invocation("inc"), Invocation("get")], [Invocation("inc")]]),
+            scheduler=scheduler,
+        )
+        text = render_violation(result.violation, result.observations)
+        assert "Timeline:" in text

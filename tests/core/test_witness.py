@@ -1,0 +1,158 @@
+"""Serial-witness search (Definitions 1 and 2)."""
+
+from __future__ import annotations
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History, SerialHistory, SerialStep
+from repro.core.spec import ObservationSet
+from repro.core.witness import (
+    brute_force_full_witness,
+    check_full_history,
+    check_stuck_history,
+    is_witness_for,
+)
+
+
+def call(t, i, name, *args):
+    return Event.call(t, i, Invocation(name, args))
+
+
+def ret(t, i, value=None):
+    return Event.ret(t, i, Response.of(value))
+
+
+def sstep(t, name, value="_none", *, args=(), pending=False):
+    response = None if pending else Response.of(None if value == "_none" else value)
+    return SerialStep(t, Invocation(name, args), response)
+
+
+class TestIsWitnessFor:
+    def test_sequential_history_witnessed_by_itself(self):
+        history = History([call(0, 0, "a"), ret(0, 0, 1)], 1)
+        witness = SerialHistory((sstep(0, "a", 1),))
+        assert is_witness_for(witness, history)
+
+    def test_order_violation_rejected(self):
+        # a completes strictly before b, so the witness must order a first.
+        history = History(
+            [call(0, 0, "a"), ret(0, 0), call(1, 0, "b"), ret(1, 0)], 2
+        )
+        good = SerialHistory((sstep(0, "a"), sstep(1, "b")))
+        bad = SerialHistory((sstep(1, "b"), sstep(0, "a")))
+        assert is_witness_for(good, history)
+        assert not is_witness_for(bad, history)
+
+    def test_overlapping_ops_allow_both_orders(self):
+        history = History(
+            [call(0, 0, "a"), call(1, 0, "b"), ret(0, 0), ret(1, 0)], 2
+        )
+        assert is_witness_for(SerialHistory((sstep(0, "a"), sstep(1, "b"))), history)
+        assert is_witness_for(SerialHistory((sstep(1, "b"), sstep(0, "a"))), history)
+
+
+class TestCheckFullHistory:
+    def _counter_observations(self):
+        obs = ObservationSet(2)
+        # Two serial behaviours of {A: inc, get} x {B: inc}.
+        obs.add(SerialHistory((sstep(0, "inc"), sstep(0, "get", 1), sstep(1, "inc"))))
+        obs.add(SerialHistory((sstep(0, "inc"), sstep(1, "inc"), sstep(0, "get", 2))))
+        obs.add(SerialHistory((sstep(1, "inc"), sstep(0, "inc"), sstep(0, "get", 2))))
+        return obs
+
+    def test_witnessed_history_passes(self):
+        obs = self._counter_observations()
+        history = History(
+            [
+                call(0, 0, "inc"), ret(0, 0),
+                call(1, 0, "inc"), ret(1, 0),
+                call(0, 1, "get"), ret(0, 1, 2),
+            ],
+            2,
+        )
+        assert check_full_history(history, obs) is not None
+
+    def test_lost_update_history_fails(self):
+        obs = self._counter_observations()
+        # Both incs complete before get, yet get returns 1: no witness.
+        history = History(
+            [
+                call(0, 0, "inc"), call(1, 0, "inc"), ret(0, 0), ret(1, 0),
+                call(0, 1, "get"), ret(0, 1, 1),
+            ],
+            2,
+        )
+        assert check_full_history(history, obs) is None
+
+    def test_overlapping_get_may_return_one(self):
+        obs = self._counter_observations()
+        # B's inc overlaps the get: get()=1 is fine.
+        history = History(
+            [
+                call(0, 0, "inc"), ret(0, 0),
+                call(1, 0, "inc"),
+                call(0, 1, "get"), ret(0, 1, 1),
+                ret(1, 0),
+            ],
+            2,
+        )
+        # get=1 requires witness [A.inc, A.get(1), B.inc]: get <S B.inc is
+        # fine because they overlap in H.
+        assert check_full_history(history, obs) is not None
+
+    def test_agrees_with_brute_force(self):
+        obs = self._counter_observations()
+        histories = [
+            History(
+                [
+                    call(0, 0, "inc"), ret(0, 0), call(1, 0, "inc"), ret(1, 0),
+                    call(0, 1, "get"), ret(0, 1, value),
+                ],
+                2,
+            )
+            for value in (1, 2, 3)
+        ]
+        for history in histories:
+            fast = check_full_history(history, obs)
+            slow = brute_force_full_witness(history, obs)
+            assert (fast is None) == (slow is None)
+
+
+class TestCheckStuckHistory:
+    def _observations(self):
+        obs = ObservationSet(2)
+        # Serially: Take on the empty queue blocks.
+        obs.add(
+            SerialHistory((sstep(0, "Take", pending=True),), stuck=True)
+        )
+        # Serially: Add then Take succeeds.
+        obs.add(SerialHistory((sstep(1, "Add"), sstep(0, "Take", 5))))
+        return obs
+
+    def test_justified_blocking_passes(self):
+        # Take blocked with no Add anywhere: H[e] = Take# has a witness.
+        history = History([call(0, 0, "Take")], 2, stuck=True)
+        result = check_stuck_history(history, self._observations())
+        assert result.ok
+        assert (0, 0) in result.witnesses
+
+    def test_unjustified_blocking_fails(self):
+        # Add completed, Take still blocked: no stuck serial history has
+        # that profile (serially Take after Add returns).
+        history = History(
+            [call(1, 0, "Add"), ret(1, 0), call(0, 0, "Take")], 2, stuck=True
+        )
+        result = check_stuck_history(history, self._observations())
+        assert not result.ok
+        assert result.failed is not None
+        assert result.failed.invocation == Invocation("Take")
+
+    def test_multiple_pending_each_needs_witness(self):
+        obs = ObservationSet(2)
+        obs.add(SerialHistory((sstep(0, "Take", pending=True),), stuck=True))
+        # No stuck serial history for thread 1's Take.
+        history = History(
+            [call(0, 0, "Take"), call(1, 0, "Take")], 2, stuck=True
+        )
+        result = check_stuck_history(history, obs)
+        assert not result.ok
+        assert result.failed.thread == 1

@@ -1,0 +1,70 @@
+"""Property tests for the presentation layer (timelines, history lines)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.observations import _op_ids_for_profile, history_line
+from repro.core.timeline import render_timeline
+
+from tests.properties.test_history_props import well_formed_histories
+
+
+@given(well_formed_histories())
+@settings(max_examples=200, deadline=None)
+def test_timeline_never_crashes_and_has_one_lane_per_thread(history):
+    text = render_timeline(history)
+    lines = text.splitlines()
+    lane_lines = [line for line in lines if not line.startswith("  (")]
+    assert len(lane_lines) == history.n_threads
+
+
+@given(well_formed_histories())
+@settings(max_examples=200, deadline=None)
+def test_timeline_contains_every_operation_label(history):
+    text = render_timeline(history)
+    for op in history.operations:
+        assert str(op.invocation) in text
+
+
+@given(well_formed_histories())
+@settings(max_examples=200, deadline=None)
+def test_timeline_marks_stuck_histories(history):
+    text = render_timeline(history)
+    if history.stuck and history.pending_operations:
+        assert "stuck" in text
+        assert "..." in text
+    has_pending_trail = any(
+        "..." in line for line in text.splitlines() if not line.startswith("  (")
+    )
+    assert has_pending_trail == bool(history.pending_operations)
+
+
+@given(well_formed_histories())
+@settings(max_examples=200, deadline=None)
+def test_history_line_balanced_brackets(history):
+    ids = _op_ids_for_profile(history.profile)
+    line = history_line(history, ids)
+    tokens = line.split()
+    opens = [t for t in tokens if t.endswith("[")]
+    closes = [t for t in tokens if t.startswith("]")]
+    assert len(opens) == len(history.operations)
+    assert len(closes) == len(history.complete_operations)
+    if history.stuck:
+        assert tokens[-1] == "#"
+
+
+@given(well_formed_histories())
+@settings(max_examples=200, deadline=None)
+def test_history_line_returns_follow_calls(history):
+    ids = _op_ids_for_profile(history.profile)
+    tokens = history_line(history, ids).split()
+    seen_calls = set()
+    for token in tokens:
+        if token == "#":
+            continue
+        if token.endswith("["):
+            seen_calls.add(token[:-1])
+        else:
+            assert token[1:] in seen_calls

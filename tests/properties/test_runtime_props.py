@@ -1,0 +1,144 @@
+"""Property-based tests of the scheduler and exploration strategies."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import VectorClock
+from repro.runtime import DFSStrategy, RandomStrategy, ReplayStrategy, Runtime, Scheduler
+
+
+@st.composite
+def small_programs(draw):
+    """A random program: per thread, a list of (op, location) actions."""
+    n_threads = draw(st.integers(1, 3))
+    n_cells = draw(st.integers(1, 2))
+    program = []
+    for _t in range(n_threads):
+        actions = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["get", "set", "add"]),
+                    st.integers(0, n_cells - 1),
+                ),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        program.append(actions)
+    return program, n_cells
+
+
+def build_factory(scheduler, program, n_cells, sink):
+    rt = Runtime(scheduler)
+
+    def factory():
+        cells = [rt.atomic(0, f"c{i}") for i in range(n_cells)]
+        sink["cells"] = cells
+
+        def make_body(actions):
+            def body():
+                for op, loc in actions:
+                    if op == "get":
+                        cells[loc].get()
+                    elif op == "set":
+                        cells[loc].set(1)
+                    else:
+                        cells[loc].add(1)
+
+            return body
+
+        return [make_body(actions) for actions in program]
+
+    return factory
+
+
+@given(small_programs(), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_dfs_explorations_terminate_and_are_complete(scenario, bound):
+    program, n_cells = scenario
+    scheduler = Scheduler()
+    try:
+        sink = {}
+        factory = build_factory(scheduler, program, n_cells, sink)
+        strategy = DFSStrategy(preemption_bound=bound)
+        finals_bounded = set()
+        count = 0
+        while strategy.more():
+            scheduler.execute(factory(), strategy)
+            finals_bounded.add(tuple(c.peek() for c in sink["cells"]))
+            count += 1
+            assert count < 50_000, "DFS failed to terminate"
+        # A higher bound explores a superset of final states.
+        strategy2 = DFSStrategy(preemption_bound=bound + 1)
+        finals_more = set()
+        while strategy2.more():
+            scheduler.execute(factory(), strategy2)
+            finals_more.add(tuple(c.peek() for c in sink["cells"]))
+        assert finals_bounded <= finals_more
+    finally:
+        scheduler.shutdown()
+
+
+@given(small_programs())
+@settings(max_examples=30, deadline=None)
+def test_every_execution_is_replayable(scenario):
+    program, n_cells = scenario
+    scheduler = Scheduler()
+    try:
+        sink = {}
+        factory = build_factory(scheduler, program, n_cells, sink)
+        strategy = DFSStrategy(preemption_bound=1)
+        recorded = []
+        while strategy.more() and len(recorded) < 20:
+            outcome = scheduler.execute(factory(), strategy)
+            recorded.append(
+                (list(outcome.decisions), tuple(c.peek() for c in sink["cells"]))
+            )
+        for decisions, final in recorded:
+            scheduler.execute(factory(), ReplayStrategy(decisions))
+            assert tuple(c.peek() for c in sink["cells"]) == final
+    finally:
+        scheduler.shutdown()
+
+
+@given(small_programs(), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_random_strategy_final_states_subset_of_dfs(scenario, seed):
+    program, n_cells = scenario
+    scheduler = Scheduler()
+    try:
+        sink = {}
+        factory = build_factory(scheduler, program, n_cells, sink)
+        exhaustive = set()
+        strategy = DFSStrategy()
+        while strategy.more():
+            scheduler.execute(factory(), strategy)
+            exhaustive.add(tuple(c.peek() for c in sink["cells"]))
+        sampled = set()
+        random_strategy = RandomStrategy(executions=15, seed=seed)
+        while random_strategy.more():
+            scheduler.execute(factory(), random_strategy)
+            sampled.add(tuple(c.peek() for c in sink["cells"]))
+        assert sampled <= exhaustive
+    finally:
+        scheduler.shutdown()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=0, max_size=20
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_vector_clock_join_laws(pairs):
+    a, b = VectorClock(), VectorClock()
+    for thread_a, thread_b in pairs:
+        a = a.tick(thread_a)
+        b = b.tick(thread_b)
+    # commutative, idempotent, dominating
+    assert a.join(b) == b.join(a)
+    assert a.join(a) == a
+    assert a.happens_before(a.join(b))
+    assert b.happens_before(a.join(b))

@@ -1,0 +1,134 @@
+"""Property-based tests: determinism gate and observation-file round trips."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import Invocation, Response
+from repro.core.history import SerialHistory, SerialStep
+from repro.core.observations import observations_from_xml, observations_to_xml
+from repro.core.spec import ObservationSet
+
+# -- generators -------------------------------------------------------------
+
+values = st.one_of(
+    st.none(),
+    st.integers(-3, 3),
+    st.sampled_from(["Fail", "ok", ""]),
+    st.booleans(),
+)
+
+invocations = st.builds(
+    Invocation,
+    method=st.sampled_from(["a", "b", "take"]),
+    args=st.tuples() | st.tuples(st.integers(0, 3)),
+)
+
+responses = st.one_of(
+    st.builds(Response.of, values),
+    st.builds(lambda name: Response("raised", name), st.sampled_from(["E1", "E2"])),
+)
+
+
+@st.composite
+def serial_histories(draw, max_threads=3, max_len=4):
+    n = draw(st.integers(1, max_len))
+    stuck = draw(st.booleans())
+    steps = []
+    for i in range(n):
+        thread = draw(st.integers(0, max_threads - 1))
+        invocation = draw(invocations)
+        last = i == n - 1
+        response = None if (last and stuck) else draw(responses)
+        steps.append(SerialStep(thread, invocation, response))
+    return SerialHistory(tuple(steps), stuck=stuck)
+
+
+@st.composite
+def observation_sets(draw, max_histories=6):
+    n_threads = draw(st.integers(1, 3))
+    observations = ObservationSet(n_threads)
+    for _ in range(draw(st.integers(0, max_histories))):
+        history = draw(serial_histories(max_threads=n_threads))
+        observations.add(history)
+    return observations
+
+
+# -- determinism gate vs brute force ------------------------------------------
+
+
+def brute_force_deterministic(histories: list[SerialHistory]) -> bool:
+    """Literal Definition: no two histories whose longest common prefix of
+    event tokens ends with a call."""
+    for i, first in enumerate(histories):
+        for second in histories[i + 1 :]:
+            a, b = first.tokens(), second.tokens()
+            k = 0
+            while k < len(a) and k < len(b) and a[k] == b[k]:
+                k += 1
+            if a == b:
+                continue
+            if k == 0:
+                continue
+            last_common = a[k - 1]
+            if isinstance(last_common, tuple) and last_common[0] == "c":
+                return False
+    return True
+
+
+@given(st.lists(serial_histories(), min_size=0, max_size=8))
+@settings(max_examples=300, deadline=None)
+def test_determinism_gate_matches_brute_force(histories):
+    observations = ObservationSet(3)
+    unique = []
+    seen = set()
+    for history in histories:
+        observations.add(history)
+        if history.tokens() not in seen:
+            seen.add(history.tokens())
+            unique.append(history)
+    assert observations.is_deterministic == brute_force_deterministic(unique)
+
+
+@given(st.lists(serial_histories(), min_size=0, max_size=8))
+@settings(max_examples=150, deadline=None)
+def test_nondeterminism_witness_is_valid(histories):
+    observations = ObservationSet(3)
+    for history in histories:
+        observations.add(history)
+    if not observations.is_deterministic:
+        witness = observations.nondeterminism
+        assert witness is not None
+        assert witness.first.tokens() != witness.second.tokens()
+        assert witness.continuation_a != witness.continuation_b
+
+
+# -- observation file round trips ---------------------------------------------
+
+
+@given(observation_sets())
+@settings(max_examples=150, deadline=None)
+def test_xml_roundtrip_preserves_every_history(observations):
+    xml = observations_to_xml(observations)
+    parsed = observations_from_xml(xml)
+    assert {h.tokens() for h in parsed} == {h.tokens() for h in observations}
+    assert len(parsed.full) == len(observations.full)
+    assert len(parsed.stuck) == len(observations.stuck)
+
+
+@given(observation_sets())
+@settings(max_examples=100, deadline=None)
+def test_xml_roundtrip_preserves_determinism_verdict(observations):
+    parsed = observations_from_xml(observations_to_xml(observations))
+    assert parsed.is_deterministic == observations.is_deterministic
+
+
+@given(observation_sets())
+@settings(max_examples=100, deadline=None)
+def test_xml_roundtrip_is_idempotent(observations):
+    once = observations_to_xml(observations)
+    twice = observations_to_xml(observations_from_xml(once))
+    assert {h.tokens() for h in observations_from_xml(once)} == {
+        h.tokens() for h in observations_from_xml(twice)
+    }

@@ -1,0 +1,177 @@
+"""Instrumented cells, atomics and containers."""
+
+from __future__ import annotations
+
+from repro.runtime import AccessRecord, DFSStrategy
+
+
+def run_body(scheduler, body):
+    return scheduler.execute([body], DFSStrategy())
+
+
+class TestVolatileCell:
+    def test_get_set_roundtrip(self, scheduler, runtime):
+        result = []
+
+        def body():
+            cell = runtime.volatile(5, "v")
+            cell.set(7)
+            result.append(cell.get())
+
+        run_body(scheduler, body)
+        assert result == [7]
+
+    def test_peek_matches_value_without_scheduling(self, scheduler, runtime):
+        def body():
+            cell = runtime.volatile("x")
+            assert cell.peek() == "x"
+
+        outcome = run_body(scheduler, body)
+        assert not outcome.crashes
+
+    def test_accesses_recorded_with_kinds(self, scheduler, runtime):
+        def body():
+            cell = runtime.volatile(0, "v")
+            cell.get()
+            cell.set(1)
+
+        outcome = run_body(scheduler, body)
+        records = [a for a in outcome.accesses if isinstance(a, AccessRecord)]
+        assert [r.kind for r in records] == ["read", "write"]
+        assert all(r.volatile for r in records)
+        assert all(r.name == "v" for r in records)
+
+
+class TestPlainCell:
+    def test_plain_access_is_not_scheduling_point(self, scheduler, runtime):
+        def body():
+            cell = runtime.plain(1, "p")
+            cell.set(2)
+            cell.get()
+
+        outcome = run_body(scheduler, body)
+        assert outcome.steps == 0  # no scheduling points at all
+        records = [a for a in outcome.accesses if isinstance(a, AccessRecord)]
+        assert [r.kind for r in records] == ["write", "read"]
+        assert not any(r.volatile for r in records)
+
+
+class TestAtomicCell:
+    def test_cas_success_and_failure(self, scheduler, runtime):
+        results = []
+
+        def body():
+            cell = runtime.atomic(10)
+            results.append(cell.compare_and_swap(10, 20))  # True
+            results.append(cell.compare_and_swap(10, 30))  # False
+            results.append(cell.get())
+
+        run_body(scheduler, body)
+        assert results == [True, False, 20]
+
+    def test_cas_records_ok_and_fail(self, scheduler, runtime):
+        def body():
+            cell = runtime.atomic(0, "a")
+            cell.compare_and_swap(0, 1)
+            cell.compare_and_swap(0, 2)
+
+        outcome = run_body(scheduler, body)
+        kinds = [
+            a.kind for a in outcome.accesses if isinstance(a, AccessRecord)
+        ]
+        assert kinds == ["cas-ok", "cas-fail"]
+
+    def test_exchange_returns_previous(self, scheduler, runtime):
+        results = []
+
+        def body():
+            cell = runtime.atomic("old")
+            results.append(cell.exchange("new"))
+            results.append(cell.get())
+
+        run_body(scheduler, body)
+        assert results == ["old", "new"]
+
+    def test_add_increment_decrement(self, scheduler, runtime):
+        results = []
+
+        def body():
+            cell = runtime.atomic(10)
+            results.append(cell.add(5))
+            results.append(cell.increment())
+            results.append(cell.decrement())
+
+        run_body(scheduler, body)
+        assert results == [15, 16, 15]
+
+    def test_cas_is_atomic_under_contention(self, scheduler, runtime):
+        # Two CAS-increment loops always sum to exactly 2.
+        box = {}
+
+        def factory():
+            cell = runtime.atomic(0)
+            box["cell"] = cell
+
+            def body():
+                while True:
+                    v = cell.get()
+                    if cell.compare_and_swap(v, v + 1):
+                        return
+
+            return [body, body]
+
+        strategy = DFSStrategy()
+        while strategy.more():
+            scheduler.execute(factory(), strategy)
+            assert box["cell"].peek() == 2
+
+
+class TestSharedContainers:
+    def test_shared_list_operations(self, scheduler, runtime):
+        results = []
+
+        def body():
+            lst = runtime.shared_list((1, 2), "l")
+            lst.append(3)
+            lst.insert(0, 0)
+            results.append(lst.snapshot())
+            results.append(lst.pop(0))
+            lst.remove(2)
+            results.append(len(lst))
+            results.append(lst.get(0))
+            lst.set(0, 9)
+            results.append(lst.get(0))
+            lst.clear()
+            results.append(lst.peek_len())
+
+        run_body(scheduler, body)
+        assert results == [[0, 1, 2, 3], 0, 2, 1, 9, 0]
+
+    def test_shared_dict_operations(self, scheduler, runtime):
+        results = []
+
+        def body():
+            d = runtime.shared_dict("d")
+            d.set("a", 1)
+            d.set("b", 2)
+            results.append("a" in d)
+            results.append(d.get("missing", "dflt"))
+            results.append(d.keys())
+            results.append(len(d))
+            d.delete("a")
+            results.append(d.snapshot())
+
+        run_body(scheduler, body)
+        assert results == [True, "dflt", ["a", "b"], 2, {"b": 2}]
+
+    def test_locations_unique(self, scheduler, runtime):
+        ids = []
+
+        def body():
+            ids.append(runtime.plain(0).location)
+            ids.append(runtime.volatile(0).location)
+            ids.append(runtime.atomic(0).location)
+            ids.append(runtime.lock().location)
+
+        run_body(scheduler, body)
+        assert len(set(ids)) == 4

@@ -1,0 +1,125 @@
+"""PCT (probabilistic concurrency testing) strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CheckConfig, FiniteTest, Invocation, SystemUnderTest, check
+from repro.runtime import PCTStrategy
+from repro.structures.counters import BuggyCounter1, Counter
+
+
+class TestValidation:
+    def test_bad_executions(self):
+        with pytest.raises(ValueError):
+            PCTStrategy(executions=-1)
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            PCTStrategy(executions=1, depth=0)
+
+
+class TestExploration:
+    def _racy_factory(self, runtime, box):
+        def factory():
+            cell = runtime.volatile(0)
+            box["cell"] = cell
+
+            def body():
+                v = cell.get()
+                cell.set(v + 1)
+
+            return [body, body]
+
+        return factory
+
+    def test_runs_exactly_n_executions(self, scheduler):
+        strategy = PCTStrategy(executions=7, seed=3)
+        count = 0
+        while strategy.more():
+            scheduler.execute([lambda: None, lambda: None], strategy)
+            count += 1
+        assert count == 7
+        assert strategy.executions == 7
+
+    def test_depth2_finds_ordering_bug(self, scheduler, runtime):
+        # The lost update needs one badly-placed context switch: depth 2.
+        box = {}
+        factory = self._racy_factory(runtime, box)
+        strategy = PCTStrategy(executions=80, depth=2, seed=1)
+        finals = set()
+        while strategy.more():
+            scheduler.execute(factory(), strategy)
+            finals.add(box["cell"].peek())
+        assert finals == {1, 2}
+
+    def test_seed_determinism(self, scheduler, runtime):
+        box = {}
+        factory = self._racy_factory(runtime, box)
+
+        def run(seed):
+            strategy = PCTStrategy(executions=30, depth=2, seed=seed)
+            out = []
+            while strategy.more():
+                scheduler.execute(factory(), strategy)
+                out.append(box["cell"].peek())
+            return out
+
+        assert run(9) == run(9)
+
+    def test_depth1_is_priority_round(self, scheduler, runtime):
+        # Depth 1 has no change points: each execution runs one random
+        # priority order without preemption; the lost update (which needs
+        # a mid-operation switch) is unreachable.
+        box = {}
+        factory = self._racy_factory(runtime, box)
+        strategy = PCTStrategy(executions=50, depth=1, seed=4)
+        finals = set()
+        while strategy.more():
+            scheduler.execute(factory(), strategy)
+            finals.add(box["cell"].peek())
+        assert finals == {2}
+
+
+class TestCheckerIntegration:
+    def test_pct_phase2_finds_counter_bug(self, scheduler):
+        cfg = CheckConfig(
+            phase2_strategy="pct", phase2_executions=200, pct_depth=2, seed=1
+        )
+        result = check(
+            SystemUnderTest(BuggyCounter1, "c"),
+            FiniteTest.of([[Invocation("inc"), Invocation("get")], [Invocation("inc")]]),
+            cfg,
+            scheduler=scheduler,
+        )
+        assert result.failed
+
+    def test_pct_passes_correct_code(self, scheduler):
+        cfg = CheckConfig(
+            phase2_strategy="pct", phase2_executions=60, pct_depth=3, seed=1
+        )
+        result = check(
+            SystemUnderTest(Counter, "c"),
+            FiniteTest.of([[Invocation("inc")], [Invocation("get")]]),
+            cfg,
+            scheduler=scheduler,
+        )
+        assert result.passed
+
+    def test_pct_finds_figure9_bug(self, scheduler):
+        # The Fig. 9 interleaving needs several well-placed switches; the
+        # PCT guarantee is probabilistic (>= 1/(n*k^(d-1)) per execution),
+        # so this uses a seed/depth known to land within the sample.
+        from repro.structures import get_class
+
+        mre = get_class("ManualResetEvent")
+        cfg = CheckConfig(
+            phase2_strategy="pct", phase2_executions=2000, pct_depth=5, seed=2
+        )
+        result = check(
+            SystemUnderTest(mre.factory("pre"), "mre"),
+            mre.causes[0].witness_test,
+            cfg,
+            scheduler=scheduler,
+        )
+        assert result.failed

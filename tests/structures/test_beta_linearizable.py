@@ -1,0 +1,81 @@
+"""The beta (fixed) classes pass exhaustive checks on small tests.
+
+The paper's no-false-alarms guarantee cuts both ways: a correct class
+must PASS every test (excluding the intentionally nondeterministic /
+nonlinearizable behaviours H–L, which fail in both versions by design).
+Each case here runs the full two-phase check with exhaustive PB-2 DFS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CheckConfig, FiniteTest, Invocation, SystemUnderTest, check
+from repro.structures import get_class
+
+
+def _inv(method, *args):
+    return Invocation(method, args)
+
+
+# (class, columns) — small but adversarial tests for the fixed versions.
+BETA_CASES = [
+    ("Lazy", [[_inv("Value"), _inv("ToString")], [_inv("Value"), _inv("IsValueCreated")]]),
+    ("ManualResetEvent", [[_inv("Set"), _inv("IsSet")], [_inv("Set"), _inv("Reset")]]),
+    ("ManualResetEvent", [[_inv("Wait")], [_inv("Set"), _inv("Reset"), _inv("Set")]]),
+    ("SemaphoreSlim", [[_inv("WaitZero"), _inv("Release")], [_inv("WaitZero"), _inv("CurrentCount")]]),
+    ("SemaphoreSlim", [[_inv("Wait")], [_inv("Release"), _inv("CurrentCount")]]),
+    ("CountdownEvent", [[_inv("Signal", 1), _inv("Wait")], [_inv("Signal", 1)]]),
+    ("CountdownEvent", [[_inv("Signal", 1), _inv("IsSet")], [_inv("TryAddCount", 1), _inv("CurrentCount")]]),
+    ("ConcurrentDictionary", [[_inv("TryAdd", 10), _inv("TryRemove", 10)], [_inv("TryAdd", 10), _inv("ContainsKey", 10)]]),
+    ("ConcurrentDictionary", [[_inv("SetItem", 10), _inv("Count")], [_inv("TryUpdate", 10), _inv("GetItem", 10)]]),
+    ("ConcurrentQueue", [[_inv("Enqueue", 1), _inv("TryDequeue")], [_inv("Enqueue", 2), _inv("TryDequeue")]]),
+    ("ConcurrentQueue", [[_inv("Enqueue", 1), _inv("Count")], [_inv("TryPeek"), _inv("IsEmpty")]]),
+    ("ConcurrentStack", [[_inv("Push", 1), _inv("TryPop")], [_inv("Push", 2), _inv("TryPopRange", 2)]]),
+    ("ConcurrentStack", [[_inv("PushRange", 1, 2), _inv("Count")], [_inv("TryPop"), _inv("ToArray")]]),
+    ("ConcurrentLinkedList", [[_inv("AddFirst", 1), _inv("RemoveLast")], [_inv("AddLast", 2), _inv("RemoveFirst")]]),
+    ("TaskCompletionSource", [[_inv("TrySetResult", 1), _inv("TryResult")], [_inv("TrySetCanceled"), _inv("Exception")]]),
+    ("TaskCompletionSource", [[_inv("Wait")], [_inv("SetResult", 1)]]),
+    ("Barrier", [[_inv("AddParticipant"), _inv("ParticipantCount")], [_inv("AddParticipant"), _inv("CurrentPhaseNumber")]]),
+]
+
+
+@pytest.mark.parametrize(
+    "class_name,columns",
+    BETA_CASES,
+    ids=[f"{name}-{i}" for i, (name, _) in enumerate(BETA_CASES)],
+)
+def test_beta_passes(scheduler, class_name, columns):
+    entry = get_class(class_name)
+    subject = SystemUnderTest(entry.factory("beta"), f"{class_name}(beta)")
+    result = check(
+        subject,
+        FiniteTest.of(columns),
+        CheckConfig(max_concurrent_executions=30_000),
+        scheduler=scheduler,
+    )
+    assert result.passed, (
+        f"{class_name}(beta) failed {FiniteTest.of(columns)}: "
+        f"{result.violation.describe()}"
+    )
+
+
+# ConcurrentBag and BlockingCollection keep their documented
+# nondeterministic behaviours in beta; their *other* methods still must be
+# clean.  These tests avoid the H/I/J-triggering combinations.
+CLEAN_SUBSET_CASES = [
+    ("ConcurrentBag", [[_inv("Add", 1), _inv("Add", 2)], [_inv("Count"), _inv("ToArray")]]),
+    ("BlockingCollection", [[_inv("Add", 1), _inv("CompleteAdding")], [_inv("IsAddingCompleted")]]),
+]
+
+
+@pytest.mark.parametrize(
+    "class_name,columns",
+    CLEAN_SUBSET_CASES,
+    ids=[name for name, _ in CLEAN_SUBSET_CASES],
+)
+def test_beta_clean_subsets_pass(scheduler, class_name, columns):
+    entry = get_class(class_name)
+    subject = SystemUnderTest(entry.factory("beta"), f"{class_name}(beta)")
+    result = check(subject, FiniteTest.of(columns), scheduler=scheduler)
+    assert result.passed, result.violation.describe()

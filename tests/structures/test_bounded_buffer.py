@@ -1,0 +1,136 @@
+"""BoundedBuffer: the worked example of checking monitor-based code."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import inv, run_sequential
+
+from repro.core import CheckConfig, FiniteTest, Invocation, SystemUnderTest, check
+from repro.structures.bounded_buffer import BoundedBuffer
+
+
+def _inv(m, *a):
+    return Invocation(m, a)
+
+
+def make(version, capacity=1):
+    return lambda rt: BoundedBuffer(rt, version, capacity=capacity)
+
+
+MIXED = FiniteTest.of(
+    [[_inv("Put", 1), _inv("Take")], [_inv("Take"), _inv("Put", 2)]]
+)
+TWO_CONSUMERS = FiniteTest.of(
+    [[_inv("Take")], [_inv("Take")], [_inv("Put", 1), _inv("Put", 2)]]
+)
+
+
+class TestSequentialSemantics:
+    @pytest.mark.parametrize("version", ["beta", "pre", "pulse"])
+    def test_fifo_behaviour(self, scheduler, version):
+        out = run_sequential(
+            scheduler,
+            make(version, capacity=2),
+            [inv("Put", 1), inv("Put", 2), inv("Size"), inv("Take"),
+             inv("TryTake"), inv("TryTake")],
+        )
+        assert [r.value for r in out] == [None, None, 2, 1, 2, "Fail"]
+
+    @pytest.mark.parametrize("version", ["beta", "pre", "pulse"])
+    def test_take_blocks_on_empty(self, scheduler, version):
+        results = run_sequential(scheduler, make(version), [inv("Take")])
+        assert results == [None]  # pending: serial execution is stuck
+
+    @pytest.mark.parametrize("version", ["beta", "pre", "pulse"])
+    def test_put_blocks_on_full(self, scheduler, version):
+        results = run_sequential(
+            scheduler, make(version), [inv("Put", 1), inv("Put", 2)]
+        )
+        assert results[0].value is None
+        assert results[1] is None  # second Put pending
+
+
+class TestBetaLinearizable:
+    @pytest.mark.parametrize(
+        "test",
+        [
+            FiniteTest.of([[_inv("Put", 1)], [_inv("Take")]]),
+            FiniteTest.of(
+                [[_inv("Put", 1), _inv("Put", 2)], [_inv("Take"), _inv("Take")]]
+            ),
+            MIXED,
+            TWO_CONSUMERS,
+        ],
+        ids=["put-take", "two-each", "mixed", "two-consumers"],
+    )
+    def test_beta_passes(self, scheduler, test):
+        result = check(
+            SystemUnderTest(make("beta"), "BoundedBuffer(beta)"),
+            test,
+            scheduler=scheduler,
+        )
+        assert result.passed, result.violation.describe()
+
+    def test_beta_capacity_two(self, scheduler):
+        test = FiniteTest.of(
+            [[_inv("Put", 1), _inv("Put", 2)], [_inv("Take"), _inv("Size")]]
+        )
+        result = check(
+            SystemUnderTest(make("beta", capacity=2), "bb2"),
+            test,
+            scheduler=scheduler,
+        )
+        assert result.passed
+
+
+class TestIfInsteadOfWhileBug:
+    def test_pre_fails_mixed_workload(self, scheduler):
+        result = check(
+            SystemUnderTest(make("pre"), "BoundedBuffer(pre)"),
+            MIXED,
+            scheduler=scheduler,
+        )
+        assert result.failed
+        assert result.violation.kind == "non-linearizable-history"
+
+    def test_pre_violation_shows_exception_response(self, scheduler):
+        """The broken Take surfaces BufferEmpty — a response no serial
+        execution ever produces."""
+        result = check(
+            SystemUnderTest(make("pre"), "BoundedBuffer(pre)"),
+            TWO_CONSUMERS,
+            CheckConfig(stop_at_first_violation=False),
+            scheduler=scheduler,
+        )
+        assert result.failed
+        raised = {
+            op.response.value
+            for violation in result.violations
+            if violation.history is not None
+            for op in violation.history.operations
+            if op.response is not None and op.response.kind == "raised"
+        }
+        assert "BufferEmpty" in raised
+
+
+class TestPulseInsteadOfPulseAllBug:
+    def test_pulse_fails_with_mixed_waiters(self, scheduler):
+        """One Put must wake both queued consumers sequentially; waking
+        just one leaves the system stuck — erroneous blocking that only
+        the generalized check rejects."""
+        result = check(
+            SystemUnderTest(make("pulse"), "BoundedBuffer(pulse)"),
+            TWO_CONSUMERS,
+            scheduler=scheduler,
+        )
+        assert result.failed
+        assert result.violation.kind == "non-linearizable-blocking"
+
+    def test_pulse_fine_with_single_waiter_workloads(self, scheduler):
+        result = check(
+            SystemUnderTest(make("pulse"), "BoundedBuffer(pulse)"),
+            FiniteTest.of([[_inv("Put", 1)], [_inv("Take")]]),
+            scheduler=scheduler,
+        )
+        assert result.passed

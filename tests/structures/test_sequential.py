@@ -1,0 +1,296 @@
+"""Sequential semantics of every ported class (both versions).
+
+Each class is driven single-threaded through a representative script;
+with no concurrency the pre and beta versions must behave identically —
+the seeded defects are all interference bugs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import inv, run_sequential
+
+from repro.structures import get_class
+
+
+def responses(scheduler, class_name, version, script):
+    entry = get_class(class_name)
+    return [r.value if r.kind == "ok" else r.value for r in
+            run_sequential(scheduler, entry.factory(version), script)]
+
+
+BOTH = pytest.mark.parametrize("version", ["pre", "beta"])
+
+
+class TestLazy:
+    @BOTH
+    def test_value_created_once(self, scheduler, version):
+        out = responses(
+            scheduler, "Lazy", version,
+            [inv("IsValueCreated"), inv("Value"), inv("IsValueCreated"),
+             inv("Value"), inv("ToString")],
+        )
+        assert out == [False, 42, True, 42, "42"]
+
+    @BOTH
+    def test_tostring_before_creation(self, scheduler, version):
+        out = responses(scheduler, "Lazy", version, [inv("ToString")])
+        assert out == ["<not created>"]
+
+
+class TestManualResetEvent:
+    @BOTH
+    def test_set_wait_reset(self, scheduler, version):
+        out = responses(
+            scheduler, "ManualResetEvent", version,
+            [inv("IsSet"), inv("Set"), inv("IsSet"), inv("Wait"),
+             inv("WaitOne"), inv("Reset"), inv("IsSet")],
+        )
+        assert out == [False, None, True, None, True, None, False]
+
+    @BOTH
+    def test_wait_on_unset_event_blocks(self, scheduler, version):
+        entry = get_class("ManualResetEvent")
+        results = run_sequential(scheduler, entry.factory(version), [inv("Wait")])
+        assert results == [None]  # pending — the serial execution is stuck
+
+    @BOTH
+    def test_set_idempotent(self, scheduler, version):
+        out = responses(
+            scheduler, "ManualResetEvent", version,
+            [inv("Set"), inv("Set"), inv("IsSet")],
+        )
+        assert out == [None, None, True]
+
+
+class TestSemaphoreSlim:
+    @BOTH
+    def test_release_and_wait(self, scheduler, version):
+        out = responses(
+            scheduler, "SemaphoreSlim", version,
+            [inv("CurrentCount"), inv("WaitZero"), inv("CurrentCount"),
+             inv("WaitZero"), inv("Release"), inv("Release", 2),
+             inv("CurrentCount")],
+        )
+        # initial=1: take it, fail a second take, release 1 then 2 -> 3.
+        assert out == [1, True, 0, False, 0, 1, 3]
+
+    @BOTH
+    def test_blocking_wait_consumes(self, scheduler, version):
+        out = responses(
+            scheduler, "SemaphoreSlim", version,
+            [inv("Wait"), inv("CurrentCount")],
+        )
+        assert out == [None, 0]
+
+    @BOTH
+    def test_invalid_release_raises(self, scheduler, version):
+        entry = get_class("SemaphoreSlim")
+        results = run_sequential(
+            scheduler, entry.factory(version), [inv("Release", 0)]
+        )
+        assert results[0].kind == "raised"
+
+
+class TestCountdownEvent:
+    @BOTH
+    def test_signal_to_zero(self, scheduler, version):
+        out = responses(
+            scheduler, "CountdownEvent", version,
+            [inv("CurrentCount"), inv("Signal", 1), inv("IsSet"),
+             inv("Signal", 1), inv("IsSet"), inv("WaitZero"), inv("Wait")],
+        )
+        assert out == [2, False, False, True, True, True, None]
+
+    @BOTH
+    def test_add_count_rules(self, scheduler, version):
+        out = responses(
+            scheduler, "CountdownEvent", version,
+            [inv("TryAddCount", 1), inv("CurrentCount"), inv("Signal", 3),
+             inv("TryAddCount", 1), inv("AddCount", 1)],
+        )
+        assert out[0] is True
+        assert out[1] == 3
+        assert out[2] is True  # reached zero
+        assert out[3] is False  # set: cannot add
+        assert out[4] == "InvalidOperation"
+
+    @BOTH
+    def test_oversignal_raises(self, scheduler, version):
+        entry = get_class("CountdownEvent")
+        results = run_sequential(
+            scheduler, entry.factory(version), [inv("Signal", 5)]
+        )
+        assert results[0].kind == "raised"
+        assert results[0].value == "InvalidOperation"
+
+
+class TestConcurrentDictionary:
+    @BOTH
+    def test_add_get_update_remove(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentDictionary", version,
+            [inv("TryAdd", 10), inv("TryAdd", 10), inv("ContainsKey", 10),
+             inv("TryGetValue", 10), inv("TryUpdate", 10), inv("Count"),
+             inv("TryRemove", 10), inv("Count"), inv("TryRemove", 10),
+             inv("IsEmpty")],
+        )
+        assert out == [True, False, True, 10, True, 1, 10, 0, "Fail", True]
+
+    @BOTH
+    def test_indexer_and_clear(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentDictionary", version,
+            [inv("SetItem", 20), inv("GetItem", 20), inv("Clear"),
+             inv("Count"), inv("GetItem", 20)],
+        )
+        assert out[:4] == [None, 20, None, 0]
+        assert out[4] == "KeyNotFound"
+
+
+class TestConcurrentQueue:
+    @BOTH
+    def test_fifo_order(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentQueue", version,
+            [inv("IsEmpty"), inv("Enqueue", 1), inv("Enqueue", 2),
+             inv("TryPeek"), inv("ToArray"), inv("Count"),
+             inv("TryDequeue"), inv("TryDequeue"), inv("TryDequeue")],
+        )
+        assert out == [True, None, None, 1, (1, 2), 2, 1, 2, "Fail"]
+
+
+class TestConcurrentStack:
+    @BOTH
+    def test_lifo_and_ranges(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentStack", version,
+            [inv("Push", 1), inv("PushRange", 2, 3), inv("ToArray"),
+             inv("TryPeek"), inv("TryPop"), inv("TryPopRange", 2),
+             inv("Count"), inv("TryPop"), inv("Clear")],
+        )
+        # PushRange(2,3): 3 ends on top; pops come top-first.
+        assert out == [None, None, (3, 2, 1), 3, 3, (2, 1), 0, "Fail", None]
+
+    @BOTH
+    def test_pop_range_on_short_stack(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentStack", version,
+            [inv("Push", 9), inv("TryPopRange", 4), inv("TryPopRange", 1)],
+        )
+        assert out == [None, (9,), ()]
+
+
+class TestConcurrentLinkedList:
+    @BOTH
+    def test_deque_semantics(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentLinkedList", version,
+            [inv("AddFirst", 2), inv("AddFirst", 1), inv("AddLast", 3),
+             inv("ToArray"), inv("Count"), inv("RemoveFirst"),
+             inv("RemoveLast"), inv("Remove", 2), inv("Remove", 2),
+             inv("RemoveFirst")],
+        )
+        assert out == [None, None, None, (1, 2, 3), 3, 1, 3, True, False, "Fail"]
+
+
+class TestBlockingCollection:
+    @BOTH
+    def test_add_take_complete(self, scheduler, version):
+        out = responses(
+            scheduler, "BlockingCollection", version,
+            [inv("Add", 1), inv("Count"), inv("TryTake"), inv("TryTake"),
+             inv("Add", 2), inv("CompleteAdding"), inv("IsAddingCompleted"),
+             inv("TryAdd", 3), inv("Take"), inv("IsCompleted"), inv("Take")],
+        )
+        assert out == [None, 1, 1, "Fail", None, None, True, False, 2, True,
+                       "InvalidOperation"]
+
+    @BOTH
+    def test_add_after_complete_raises(self, scheduler, version):
+        entry = get_class("BlockingCollection")
+        results = run_sequential(
+            scheduler, entry.factory(version),
+            [inv("CompleteAdding"), inv("Add", 1)],
+        )
+        assert results[1].kind == "raised"
+
+    @BOTH
+    def test_toarray_snapshot(self, scheduler, version):
+        out = responses(
+            scheduler, "BlockingCollection", version,
+            [inv("Add", 1), inv("Add", 2), inv("ToArray")],
+        )
+        assert out[-1] == (1, 2)
+
+
+class TestConcurrentBag:
+    @BOTH
+    def test_lifo_own_list(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentBag", version,
+            [inv("Add", 1), inv("Add", 2), inv("TryPeek"), inv("TryTake"),
+             inv("TryTake"), inv("TryTake"), inv("IsEmpty")],
+        )
+        assert out == [None, None, 2, 2, 1, "Fail", True]
+
+    @BOTH
+    def test_count_and_toarray(self, scheduler, version):
+        out = responses(
+            scheduler, "ConcurrentBag", version,
+            [inv("Add", 5), inv("Count"), inv("ToArray")],
+        )
+        assert out == [None, 1, (5,)]
+
+
+class TestTaskCompletionSource:
+    @BOTH
+    def test_result_lifecycle(self, scheduler, version):
+        out = responses(
+            scheduler, "TaskCompletionSource", version,
+            [inv("TryResult"), inv("TrySetResult", 7), inv("TrySetResult", 9),
+             inv("TryResult"), inv("Wait"), inv("Exception")],
+        )
+        assert out == ["Fail", True, False, 7, 7, None]
+
+    @BOTH
+    def test_exception_lifecycle(self, scheduler, version):
+        out = responses(
+            scheduler, "TaskCompletionSource", version,
+            [inv("SetException"), inv("Exception"), inv("SetResult", 1),
+             inv("Wait")],
+        )
+        assert out == [None, "boom", "InvalidOperation", "TaskFailed"]
+
+    @BOTH
+    def test_cancel_lifecycle(self, scheduler, version):
+        out = responses(
+            scheduler, "TaskCompletionSource", version,
+            [inv("TrySetCanceled"), inv("Wait"), inv("SetCanceled")],
+        )
+        assert out == [True, "TaskCanceled", "InvalidOperation"]
+
+
+class TestBarrier:
+    @BOTH
+    def test_participant_management(self, scheduler, version):
+        out = responses(
+            scheduler, "Barrier", version,
+            [inv("ParticipantCount"), inv("AddParticipant"),
+             inv("ParticipantCount"), inv("RemoveParticipant"),
+             inv("ParticipantsRemaining"), inv("CurrentPhaseNumber")],
+        )
+        assert out == [2, 0, 3, None, 2, 0]
+
+    @BOTH
+    def test_single_participant_passes_through(self, scheduler, version):
+        from repro.structures import Barrier
+
+        results = run_sequential(
+            scheduler,
+            lambda rt: Barrier(rt, version, participants=1),
+            [inv("SignalAndWait"), inv("CurrentPhaseNumber"), inv("SignalAndWait")],
+        )
+        values = [r.value for r in results]
+        assert values == [0, 1, 1]
