@@ -16,15 +16,26 @@ Line-Up as a tool, mirroring how the paper's authors drove it:
   or every class.
 * ``observations`` — run phase 1 only and write the Fig. 7 observation
   file.
+* ``resume`` — continue an interrupted ``check`` or ``campaign`` from a
+  ``--checkpoint`` file.
 
-Exit status: 0 = PASS, 1 = violation found, 2 = usage error.
+Long runs are made interruptible: ``--deadline SECONDS`` bounds the
+exploration (stopping with an explicit EXHAUSTED verdict and partial
+statistics), ``--checkpoint PATH`` periodically persists the exploration
+frontier, and SIGINT/SIGTERM trigger a graceful shutdown that flushes the
+checkpoint and prints the partial report.
+
+Exit status: 0 = PASS, 1 = violation found, 2 = exploration budget
+exhausted, 64 = usage error, 130 = interrupted (SIGINT/SIGTERM).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import signal
 import sys
+import threading
 from typing import Sequence
 
 from repro.core import (
@@ -39,16 +50,93 @@ from repro.core import (
     minimize_failing_test,
     render_check_result,
 )
-from repro.core.campaign import campaign_row, render_table2
+from repro.core.budget import BudgetMeter, ExplorationBudget, ExplorationControl
+from repro.core.campaign import (
+    TestSummary,
+    render_table2,
+    row_from_dict,
+    row_to_dict,
+    run_class_campaign,
+    verify_causes,
+)
+from repro.core.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+    parse_check_state,
+)
+from repro.core.fileio import atomic_write_text
 from repro.core.observations import observations_to_xml
 from repro.runtime import Scheduler
 from repro.structures import REGISTRY, ROOT_CAUSES, get_class
 
 __all__ = ["main"]
 
+#: Exit codes (documented in the module docstring and ``--help``).
+EXIT_PASS = 0
+EXIT_FAIL = 1
+EXIT_EXHAUSTED = 2
+EXIT_USAGE = 64
+EXIT_INTERRUPTED = 130
+
 
 class CliError(Exception):
     """A user-facing command-line error."""
+
+
+class _SignalStop:
+    """Graceful-shutdown flag set by SIGINT/SIGTERM.
+
+    The first signal only raises the flag; the exploration loops poll it
+    between executions (via :class:`ExplorationControl`), flush their
+    checkpoint and report partial results.  A second SIGINT falls back to
+    an ordinary KeyboardInterrupt for users who really mean *now*.
+    """
+
+    def __init__(self) -> None:
+        self.flag = False
+        self._previous: dict[int, object] = {}
+
+    def __call__(self) -> bool:
+        return self.flag
+
+    def _handle(self, signum: int, frame: object) -> None:
+        if self.flag:
+            raise KeyboardInterrupt
+        self.flag = True
+        print(
+            "\nreceived signal — finishing the current execution and "
+            "flushing state (send again to abort immediately) ...",
+            file=sys.stderr,
+        )
+
+    def install(self) -> "_SignalStop":
+        if threading.current_thread() is not threading.main_thread():
+            return self  # signals only reach the main thread
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return self
+
+    def uninstall(self) -> None:
+        for sig, handler in self._previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError, TypeError):  # pragma: no cover
+                pass
+        self._previous.clear()
+
+
+def _check_exit_code(result) -> int:
+    if result.exhausted and result.exhausted_reason == "interrupted":
+        return EXIT_INTERRUPTED
+    if result.failed:
+        return EXIT_FAIL
+    if result.exhausted:
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
 
 
 def parse_invocation(text: str) -> Invocation:
@@ -100,6 +188,15 @@ def parse_test(
     )
 
 
+def _budget_from_args(args: argparse.Namespace) -> ExplorationBudget | None:
+    deadline = getattr(args, "deadline", None)
+    if deadline is None:
+        return None
+    if deadline <= 0:
+        raise CliError("--deadline must be a positive number of seconds")
+    return ExplorationBudget(deadline_seconds=deadline)
+
+
 def _config_from_args(args: argparse.Namespace) -> CheckConfig:
     return CheckConfig(
         preemption_bound=None if args.preemption_bound < 0 else args.preemption_bound,
@@ -107,6 +204,26 @@ def _config_from_args(args: argparse.Namespace) -> CheckConfig:
         phase2_executions=args.schedules,
         seed=args.seed,
         max_concurrent_executions=args.max_executions,
+        budget=_budget_from_args(args),
+        watchdog_seconds=getattr(args, "watchdog", None),
+    )
+
+
+def _add_robustness_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock budget; on expiry the run stops with verdict "
+             "EXHAUSTED, partial statistics, and exit code 2",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="periodically persist the exploration frontier to PATH "
+             "(atomic writes); continue later with 'resume PATH'",
+    )
+    parser.add_argument(
+        "--watchdog", type=float, metavar="SECONDS",
+        help="max seconds one operation may run between scheduling points "
+             "before the execution is classified divergent (default: off)",
     )
 
 
@@ -164,6 +281,39 @@ def _resolve_test(args: argparse.Namespace, entry) -> FiniteTest:
     return parse_test(args.test, args.init, args.final)
 
 
+def _run_check(
+    subject: SystemUnderTest,
+    test: FiniteTest,
+    config: CheckConfig,
+    *,
+    checkpoint: str | None,
+    extra: dict,
+    resume=None,
+) -> "tuple[object, int]":
+    """Shared check driver: signals, budget control, checkpointing."""
+    stopper = _SignalStop().install()
+    try:
+        control = ExplorationControl(budget=config.budget, stop=stopper)
+        checkpointer = None
+        if checkpoint:
+            checkpointer = Checkpointer(checkpoint, extra=extra)
+        result = check(
+            subject,
+            test,
+            config,
+            control=control,
+            checkpointer=checkpointer,
+            resume=resume,
+        )
+    finally:
+        stopper.uninstall()
+    code = _check_exit_code(result)
+    if result.exhausted and checkpoint:
+        print(f"state saved; continue with: python -m repro resume {checkpoint}")
+        print()
+    return result, code
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     entry = get_class(args.cls)
     test = _resolve_test(args, entry)
@@ -174,9 +324,13 @@ def cmd_check(args: argparse.Namespace) -> int:
     print(test.render_matrix())
     print()
     if args.relaxed:
+        if args.checkpoint or args.deadline:
+            raise CliError(
+                "--checkpoint/--deadline are not supported with --relaxed"
+            )
         # Section 6 extension: nondeterministic specs plus the documented
         # .NET interference policies for this class (if any).
-        with TestHarness(subject) as harness:
+        with TestHarness(subject, watchdog=args.watchdog) as harness:
             result = check_relaxed(
                 harness,
                 test,
@@ -184,8 +338,14 @@ def cmd_check(args: argparse.Namespace) -> int:
                 DOTNET_POLICIES.get(entry.name),
             )
         print(render_check_result(result))
-        return 1 if result.failed else 0
-    result = check(subject, test, _config_from_args(args))
+        return EXIT_FAIL if result.failed else EXIT_PASS
+    result, code = _run_check(
+        subject,
+        test,
+        _config_from_args(args),
+        checkpoint=args.checkpoint,
+        extra={"subject": {"cls": entry.name, "version": args.version}},
+    )
     if result.failed and args.minimize:
         print("minimizing the failing test ...")
         minimized, result = minimize_failing_test(
@@ -194,40 +354,263 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(f"minimal failing dimension: {minimized.dimension}")
         print()
     print(render_check_result(result))
-    return 1 if result.failed else 0
+    return code
+
+
+def _campaign_state(
+    plan: "list[tuple[str, str]]",
+    rows: list,
+    current: "tuple[str, str, list] | None",
+    params: dict,
+    control: ExplorationControl,
+) -> dict:
+    state: dict = {
+        "kind": "campaign",
+        "plan": [list(item) for item in plan],
+        "finished_rows": [row_to_dict(row) for row in rows],
+        "current": None,
+        "params": params,
+        "budget": control.meter.snapshot() if control.meter is not None else None,
+    }
+    if current is not None:
+        name, version, summaries = current
+        state["current"] = {
+            "cls": name,
+            "version": version,
+            "summaries": [summary.to_dict() for summary in summaries],
+        }
+    return state
+
+
+def _run_campaign_plan(
+    plan: "list[tuple[str, str]]",
+    params: dict,
+    checkpoint: str | None,
+    finished_rows: list,
+    resume_current: "tuple[str, str, list] | None" = None,
+    budget_snapshot: dict | None = None,
+) -> int:
+    """Run (or resume) a campaign plan with checkpointing and signals.
+
+    *plan* is the ordered (class, version) work list; entries matching a
+    row in *finished_rows* are skipped; *resume_current* carries the
+    per-test summaries of the class a previous session was interrupted
+    in, so only its remaining tests run.
+    """
+    deadline = params.get("deadline")
+    budget = (
+        ExplorationBudget(deadline_seconds=deadline) if deadline else None
+    )
+    config = CheckConfig(
+        phase2_strategy="random",
+        phase2_executions=params["schedules"],
+        seed=params["seed"],
+        max_serial_executions=2000,
+        budget=budget,
+        watchdog_seconds=params.get("watchdog"),
+    )
+    stopper = _SignalStop().install()
+    control = ExplorationControl(budget=budget, stop=stopper)
+    if budget_snapshot is not None:
+        control.meter = BudgetMeter.from_snapshot(budget_snapshot)
+    control.start()
+    checkpointer = Checkpointer(checkpoint) if checkpoint else None
+    rows = list(finished_rows)
+    done = {(row.class_name, row.version) for row in rows}
+    stop_reason: str | None = None
+    scheduler = Scheduler(watchdog=config.watchdog_seconds)
+    try:
+        for name, version in plan:
+            if (name, version) in done:
+                continue
+            entry = get_class(name)
+            completed: list = []
+            if resume_current is not None:
+                prior_cls, prior_version, summaries = resume_current
+                resume_current = None  # applies to the first pending entry only
+                if (prior_cls, prior_version) == (name, version):
+                    completed = list(summaries)
+            latest = {"summaries": completed}
+
+            def on_test(summaries, _name=name, _version=version, _latest=latest):
+                _latest["summaries"] = list(summaries)
+                if checkpointer is not None:
+                    checkpointer.tick(
+                        lambda: _campaign_state(
+                            plan, rows, (_name, _version, summaries),
+                            params, control,
+                        )
+                    )
+
+            row, _results = run_class_campaign(
+                entry,
+                version,
+                samples=params["samples"],
+                rows=params["rows"],
+                cols=params["cols"],
+                seed=params["seed"],
+                config=config,
+                scheduler=scheduler,
+                control=control,
+                completed=completed,
+                on_test=on_test,
+            )
+            if row.stop_reason is not None:
+                stop_reason = row.stop_reason
+                if checkpointer is not None:
+                    checkpointer.save(
+                        _campaign_state(
+                            plan, rows,
+                            (name, version, latest["summaries"]),
+                            params, control,
+                        )
+                    )
+                break
+            # The curated root-cause columns (cheap, deterministic).
+            row.causes_found, row.min_dimensions = verify_causes(
+                entry, version, CheckConfig(), scheduler
+            )
+            rows.append(row)
+            done.add((name, version))
+            if checkpointer is not None:
+                checkpointer.save(
+                    _campaign_state(plan, rows, None, params, control)
+                )
+    finally:
+        stopper.uninstall()
+        scheduler.shutdown()
+    print(render_table2(rows))
+    if stop_reason is not None:
+        what = (
+            "interrupted"
+            if stop_reason == "interrupted"
+            else f"budget exhausted ({stop_reason})"
+        )
+        print()
+        print(f"campaign {what}; the table above is partial")
+        if checkpoint:
+            print(f"state saved; continue with: python -m repro resume {checkpoint}")
+    if stop_reason == "interrupted":
+        return EXIT_INTERRUPTED
+    failed = any(row.tests_failed > 0 or bool(row.causes_found) for row in rows)
+    if failed:
+        return EXIT_FAIL
+    if stop_reason is not None:
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     entries = REGISTRY if args.cls == "all" else (get_class(args.cls),)
     versions = args.versions.split(",")
-    config = CheckConfig(
-        phase2_strategy="random",
-        phase2_executions=args.schedules,
-        seed=args.seed,
-        max_serial_executions=2000,
+    plan = [(entry.name, version) for entry in entries for version in versions]
+    if args.deadline is not None and args.deadline <= 0:
+        raise CliError("--deadline must be a positive number of seconds")
+    params = {
+        "samples": args.samples,
+        "rows": args.rows,
+        "cols": args.cols,
+        "schedules": args.schedules,
+        "seed": args.seed,
+        "deadline": args.deadline,
+        "watchdog": args.watchdog,
+    }
+    return _run_campaign_plan(plan, params, args.checkpoint, [])
+
+
+def _override_deadline(snapshot: dict | None, deadline: float) -> dict | None:
+    """Swap a fresh deadline into a restored budget meter snapshot.
+
+    The default resume contract is that the original budget is *total*
+    across sessions (elapsed time carries over); ``resume --deadline``
+    instead grants the resumed session a new clock, keeping the
+    execution/decision counters.
+    """
+    if snapshot is None:
+        return None
+    budget = dict(snapshot.get("budget") or {})
+    budget["deadline_seconds"] = deadline
+    return {**snapshot, "budget": budget, "elapsed": 0.0}
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    if args.deadline is not None and args.deadline <= 0:
+        raise CliError("--deadline must be a positive number of seconds")
+    document = load_checkpoint(args.checkpoint)
+    if document["kind"] == "campaign":
+        plan = [
+            (str(name), str(version)) for name, version in document.get("plan", [])
+        ]
+        if not plan:
+            raise CliError("campaign checkpoint has an empty plan")
+        rows = [row_from_dict(data) for data in document.get("finished_rows", [])]
+        current = document.get("current")
+        resume_current = None
+        if current:
+            resume_current = (
+                current["cls"],
+                current["version"],
+                [TestSummary.from_dict(s) for s in current.get("summaries", [])],
+            )
+        params = document.get("params") or {}
+        for key in ("samples", "rows", "cols", "schedules", "seed"):
+            if key not in params:
+                raise CliError(f"campaign checkpoint lacks parameter {key!r}")
+        budget_snapshot = document.get("budget")
+        if args.deadline is not None:
+            params = {**params, "deadline": args.deadline}
+            budget_snapshot = _override_deadline(budget_snapshot, args.deadline)
+        print(
+            f"Resuming campaign from {args.checkpoint} "
+            f"({len(rows)}/{len(plan)} rows finished)"
+        )
+        return _run_campaign_plan(
+            plan,
+            params,
+            args.checkpoint,
+            rows,
+            resume_current=resume_current,
+            budget_snapshot=budget_snapshot,
+        )
+
+    # kind == "check"
+    subject_info = document.get("subject") or {}
+    if "cls" not in subject_info or "version" not in subject_info:
+        raise CliError(
+            "check checkpoint lacks subject info; it was not written by the "
+            "command line (re-run with --checkpoint)"
+        )
+    entry = get_class(subject_info["cls"])
+    version = subject_info["version"]
+    test, config, resume = parse_check_state(document)
+    if args.deadline is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config, budget=ExplorationBudget(deadline_seconds=args.deadline)
+        )
+        resume.budget_snapshot = _override_deadline(
+            resume.budget_snapshot, args.deadline
+        )
+    subject = SystemUnderTest(
+        entry.factory(version), f"{entry.name}({version})"
     )
-    scheduler = Scheduler()
-    rows = []
-    failed = False
-    try:
-        for entry in entries:
-            for version in versions:
-                row = campaign_row(
-                    entry,
-                    version,
-                    samples=args.samples,
-                    rows=args.rows,
-                    cols=args.cols,
-                    seed=args.seed,
-                    config=config,
-                    scheduler=scheduler,
-                )
-                rows.append(row)
-                failed = failed or row.tests_failed > 0 or bool(row.causes_found)
-    finally:
-        scheduler.shutdown()
-    print(render_table2(rows))
-    return 1 if failed else 0
+    print(
+        f"Resuming check of {entry.name}({version}) from {args.checkpoint} "
+        f"(interrupted in {resume.phase})"
+    )
+    print(test.render_matrix())
+    print()
+    result, code = _run_check(
+        subject,
+        test,
+        config,
+        checkpoint=args.checkpoint,
+        extra={"subject": {"cls": entry.name, "version": version}},
+        resume=resume,
+    )
+    print(render_check_result(result))
+    return code
 
 
 def cmd_observations(args: argparse.Namespace) -> int:
@@ -240,8 +623,7 @@ def cmd_observations(args: argparse.Namespace) -> int:
         observations, stats = harness.run_serial(test)
     xml = observations_to_xml(observations)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(xml)
+        atomic_write_text(args.output, xml)
         print(
             f"wrote {len(observations)} serial histories "
             f"({stats.executions} executions) to {args.output}"
@@ -271,18 +653,41 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ArgumentParser(argparse.ArgumentParser):
+    """Argparse variant whose usage errors exit 64, not argparse's 2.
+
+    Exit code 2 means "budget exhausted" in this tool (see the module
+    docstring), so usage errors use the BSD ``EX_USAGE`` convention.
+    """
+
+    def error(self, message: str) -> "None":  # type: ignore[override]
+        raise CliError(f"{self.prog}: {message}")
+
+
+_EXIT_CODE_HELP = (
+    "exit status: 0 = PASS, 1 = violation found, 2 = exploration budget "
+    "exhausted, 64 = usage error, 130 = interrupted (SIGINT/SIGTERM)"
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _ArgumentParser(
         prog="repro",
         description="Line-Up: a complete and automatic linearizability checker",
+        epilog=_EXIT_CODE_HELP,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(
+        dest="command", required=True, parser_class=_ArgumentParser
+    )
 
     p_list = sub.add_parser("list", help="show the Table 1 class inventory")
     p_list.add_argument("-v", "--verbose", action="store_true")
     p_list.set_defaults(func=cmd_list)
 
-    p_check = sub.add_parser("check", help="run the two-phase check on one test")
+    p_check = sub.add_parser(
+        "check", help="run the two-phase check on one test",
+        epilog=_EXIT_CODE_HELP,
+    )
     p_check.add_argument("cls", metavar="CLASS", help="registry class name")
     p_check.add_argument(
         "--test", metavar="MATRIX",
@@ -302,10 +707,12 @@ def build_parser() -> argparse.ArgumentParser:
              "class's documented interference behaviours",
     )
     _add_check_options(p_check)
+    _add_robustness_options(p_check)
     p_check.set_defaults(func=cmd_check)
 
     p_campaign = sub.add_parser(
-        "campaign", help="RandomCheck campaign (Table 2 rows)"
+        "campaign", help="RandomCheck campaign (Table 2 rows)",
+        epilog=_EXIT_CODE_HELP,
     )
     p_campaign.add_argument(
         "cls", metavar="CLASS", help="registry class name, or 'all'"
@@ -316,7 +723,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--cols", type=int, default=3)
     p_campaign.add_argument("--schedules", type=int, default=150)
     p_campaign.add_argument("--seed", type=int, default=0)
+    _add_robustness_options(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="continue an interrupted check/campaign from its checkpoint",
+        epilog=_EXIT_CODE_HELP,
+    )
+    p_resume.add_argument(
+        "checkpoint", metavar="PATH", help="checkpoint file written by --checkpoint"
+    )
+    p_resume.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="grant the resumed session a fresh wall-clock budget "
+             "(default: the original budget is total across sessions)",
+    )
+    p_resume.set_defaults(func=cmd_resume)
 
     p_obs = sub.add_parser(
         "observations", help="phase 1 only: write the observation file"
@@ -346,15 +769,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
     try:
+        args = parser.parse_args(argv)
         return args.func(args)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

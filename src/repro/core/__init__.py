@@ -22,6 +22,13 @@ from repro.core.autocheck import (
     minimize_failing_test,
     random_check,
 )
+from repro.core.budget import BudgetMeter, ExplorationBudget, ExplorationControl
+from repro.core.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.checker import (
     CheckConfig,
     CheckResult,
@@ -33,7 +40,9 @@ from repro.core.checker import (
 from repro.core.events import Event, Invocation, Operation, Response
 from repro.core.harness import HarnessError, SystemUnderTest, TestHarness
 from repro.core.history import History, Profile, SerialHistory, SerialStep
+from repro.core.fileio import atomic_write_text
 from repro.core.observations import (
+    ObservationFileError,
     load_observations,
     observations_from_xml,
     observations_to_xml,
@@ -57,10 +66,15 @@ from repro.core.witness import (
 )
 
 __all__ = [
+    "BudgetMeter",
     "CampaignResult",
     "CheckConfig",
     "CheckResult",
+    "CheckpointError",
+    "Checkpointer",
     "DOTNET_POLICIES",
+    "ExplorationBudget",
+    "ExplorationControl",
     "Event",
     "FiniteTest",
     "HarnessError",
@@ -69,6 +83,7 @@ __all__ = [
     "InterferenceRule",
     "Invocation",
     "NondeterminismWitness",
+    "ObservationFileError",
     "ObservationSet",
     "Operation",
     "Profile",
@@ -78,6 +93,7 @@ __all__ = [
     "SystemUnderTest",
     "TestHarness",
     "Violation",
+    "atomic_write_text",
     "auto_check",
     "brute_force_full_witness",
     "check",
@@ -88,6 +104,7 @@ __all__ = [
     "check_with_harness",
     "enumerate_tests",
     "is_witness_for",
+    "load_checkpoint",
     "load_observations",
     "minimize_failing_test",
     "observations_from_xml",
@@ -97,5 +114,6 @@ __all__ = [
     "render_timeline",
     "render_violation",
     "sample_tests",
+    "save_checkpoint",
     "save_observations",
 ]

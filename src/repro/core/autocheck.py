@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.core.budget import ExplorationControl
 from repro.core.checker import CheckConfig, CheckResult, check_with_harness
 from repro.core.events import Invocation
 from repro.core.harness import SystemUnderTest, TestHarness
@@ -45,6 +46,9 @@ class CampaignResult:
     tests_failed: int = 0
     failures: list[CheckResult] = field(default_factory=list)
     results: list[CheckResult] = field(default_factory=list)
+    #: why the campaign stopped early ("deadline", "executions",
+    #: "decisions", "interrupted"), or None when it ran to completion.
+    stop_reason: str | None = None
 
     @property
     def passed(self) -> bool:
@@ -62,13 +66,25 @@ def _run_campaign(
     stop_at_first_failure: bool,
     keep_results: bool,
     scheduler: Scheduler | None = None,
+    control: ExplorationControl | None = None,
 ) -> CampaignResult:
+    cfg = config or CheckConfig()
+    if control is None and cfg.budget is not None:
+        control = ExplorationControl(budget=cfg.budget)
     campaign = CampaignResult(verdict="PASS")
     with TestHarness(
-        subject, scheduler=scheduler, max_steps=(config or CheckConfig()).max_steps
+        subject,
+        scheduler=scheduler,
+        max_steps=cfg.max_steps,
+        watchdog=cfg.watchdog_seconds,
     ) as harness:
         for test in tests:
-            result = check_with_harness(harness, test, config)
+            if control is not None:
+                reason = control.halt_reason()
+                if reason is not None:
+                    campaign.stop_reason = reason
+                    break
+            result = check_with_harness(harness, test, cfg, control=control)
             campaign.tests_run += 1
             if keep_results:
                 campaign.results.append(result)
@@ -78,6 +94,9 @@ def _run_campaign(
                 campaign.failures.append(result)
                 if stop_at_first_failure:
                     break
+            if result.exhausted:
+                campaign.stop_reason = result.exhausted_reason
+                break
     return campaign
 
 
@@ -89,6 +108,7 @@ def auto_check(
     max_tests: int | None = None,
     stop_at_first_failure: bool = True,
     scheduler: Scheduler | None = None,
+    control: ExplorationControl | None = None,
 ) -> CampaignResult:
     """AutoCheck (Fig. 6), bounded at dimension *max_n* / *max_tests*.
 
@@ -112,7 +132,7 @@ def auto_check(
 
     return _run_campaign(
         subject, tests(), config, stop_at_first_failure, keep_results=False,
-        scheduler=scheduler,
+        scheduler=scheduler, control=control,
     )
 
 
@@ -129,6 +149,7 @@ def random_check(
     init: Sequence[Invocation] = (),
     final: Sequence[Invocation] = (),
     scheduler: Scheduler | None = None,
+    control: ExplorationControl | None = None,
 ) -> CampaignResult:
     """RandomCheck (Fig. 8): Check a uniform sample of finite tests.
 
@@ -141,7 +162,7 @@ def random_check(
     )
     return _run_campaign(
         subject, tests, config, stop_at_first_failure, keep_results,
-        scheduler=scheduler,
+        scheduler=scheduler, control=control,
     )
 
 

@@ -18,17 +18,77 @@ minimal witness tests, which :func:`verify_causes` re-validates).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
-from repro.core.autocheck import random_check
-from repro.core.checker import CheckConfig, CheckResult
+from repro.core.budget import ExplorationControl
+from repro.core.checker import CheckConfig, CheckResult, check_with_harness
 from repro.core.harness import SystemUnderTest, TestHarness
-from repro.core.checker import check_with_harness
+from repro.core.testcase import sample_tests
 from repro.runtime import Scheduler
 from repro.structures.registry import ClassUnderTest
 
-__all__ = ["CampaignRow", "campaign_row", "render_table2", "verify_causes"]
+__all__ = [
+    "CampaignRow",
+    "TestSummary",
+    "campaign_row",
+    "render_table2",
+    "row_from_dict",
+    "row_from_summaries",
+    "row_to_dict",
+    "run_class_campaign",
+    "verify_causes",
+]
+
+
+@dataclass(frozen=True)
+class TestSummary:
+    """The per-test facts a campaign row is computed from.
+
+    Unlike a full :class:`CheckResult` this is JSON-able (no histories or
+    observation sets), which is what makes campaign checkpoints small:
+    finished tests are carried across a resume as summaries, and the row
+    statistics of a resumed campaign equal those of an uninterrupted one.
+    """
+
+    verdict: str
+    histories: int
+    stuck_histories: int
+    phase1_seconds: float
+    total_seconds: float
+    exhausted_reason: str | None = None
+
+    @classmethod
+    def from_result(cls, result: CheckResult) -> "TestSummary":
+        return cls(
+            verdict=result.verdict,
+            histories=result.phase1.histories,
+            stuck_histories=result.phase1.stuck_histories,
+            phase1_seconds=result.phase1_seconds,
+            total_seconds=result.phase1_seconds + result.phase2_seconds,
+            exhausted_reason=result.exhausted_reason,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "histories": self.histories,
+            "stuck_histories": self.stuck_histories,
+            "phase1_seconds": self.phase1_seconds,
+            "total_seconds": self.total_seconds,
+            "exhausted_reason": self.exhausted_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TestSummary":
+        return cls(
+            verdict=data["verdict"],
+            histories=int(data["histories"]),
+            stuck_histories=int(data["stuck_histories"]),
+            phase1_seconds=float(data["phase1_seconds"]),
+            total_seconds=float(data["total_seconds"]),
+            exhausted_reason=data.get("exhausted_reason"),
+        )
 
 
 @dataclass
@@ -51,6 +111,67 @@ class CampaignRow:
     pass_avg_s: float = 0.0
     preemption_bound: int | None = 2
     stuck_tests: int = 0  #: tests whose phase 1 saw stuck serial histories
+    #: why the campaign stopped early ("deadline", "executions",
+    #: "decisions", "interrupted"), or None when it ran to completion.
+    stop_reason: str | None = None
+
+
+def row_to_dict(row: CampaignRow) -> dict:
+    """JSON-able form of a campaign row (campaign checkpoints)."""
+    data = dict(row.__dict__)
+    data["causes_found"] = list(row.causes_found)
+    data["min_dimensions"] = {
+        tag: list(dim) for tag, dim in row.min_dimensions.items()
+    }
+    return data
+
+
+def row_from_dict(data: dict) -> CampaignRow:
+    data = dict(data)
+    data["causes_found"] = tuple(data.get("causes_found", ()))
+    data["min_dimensions"] = {
+        tag: tuple(dim) for tag, dim in data.get("min_dimensions", {}).items()
+    }
+    return CampaignRow(**data)
+
+
+def row_from_summaries(
+    entry: ClassUnderTest,
+    version: str,
+    summaries: Sequence[TestSummary],
+    config: CheckConfig,
+) -> CampaignRow:
+    """Aggregate per-test summaries into a Table 2 row."""
+    row = CampaignRow(
+        class_name=entry.name,
+        version=version,
+        methods=entry.method_count,
+        preemption_bound=config.preemption_bound,
+    )
+    fail_times: list[float] = []
+    pass_times: list[float] = []
+    for summary in summaries:
+        row.tests_run += 1
+        row.histories_avg += summary.histories
+        row.histories_max = max(row.histories_max, summary.histories)
+        row.phase1_avg_s += summary.phase1_seconds
+        row.phase1_max_s = max(row.phase1_max_s, summary.phase1_seconds)
+        if summary.stuck_histories:
+            row.stuck_tests += 1
+        if summary.verdict == "FAIL":
+            row.tests_failed += 1
+            fail_times.append(summary.total_seconds)
+        else:
+            row.tests_passed += 1
+            pass_times.append(summary.total_seconds)
+    if row.tests_run:
+        row.histories_avg /= row.tests_run
+        row.phase1_avg_s /= row.tests_run
+    if fail_times:
+        row.fail_avg_s = sum(fail_times) / len(fail_times)
+    if pass_times:
+        row.pass_avg_s = sum(pass_times) / len(pass_times)
+    return row
 
 
 def run_class_campaign(
@@ -62,53 +183,55 @@ def run_class_campaign(
     seed: int = 0,
     config: CheckConfig | None = None,
     scheduler: Scheduler | None = None,
+    *,
+    control: ExplorationControl | None = None,
+    completed: Sequence[TestSummary] | None = None,
+    on_test: Callable[[list[TestSummary]], None] | None = None,
 ) -> tuple[CampaignRow, list[CheckResult]]:
-    """RandomCheck campaign for one class/version, with Table 2 stats."""
+    """RandomCheck campaign for one class/version, with Table 2 stats.
+
+    The test list is a deterministic function of (alphabet, rows, cols,
+    samples, seed), so a resumed campaign (*completed* = summaries of
+    already-finished tests, restored from a checkpoint) runs exactly the
+    tests the interrupted one had left and aggregates to the same row.
+    *on_test* is called with the summary list after every finished test
+    (the campaign checkpoint hook); *control* imposes a campaign-wide
+    budget — an EXHAUSTED test result is not summarized, so the resume
+    re-runs that test from scratch.
+    """
     cfg = config or CheckConfig()
+    if control is None and cfg.budget is not None:
+        control = ExplorationControl(budget=cfg.budget)
     subject = SystemUnderTest(entry.factory(version), f"{entry.name}({version})")
-    campaign = random_check(
+    tests = sample_tests(
+        list(entry.invocations), rows, cols, samples, seed=seed, init=entry.init
+    )
+    summaries: list[TestSummary] = list(completed or ())
+    results: list[CheckResult] = []
+    stop_reason: str | None = None
+    with TestHarness(
         subject,
-        entry.invocations,
-        rows=rows,
-        cols=cols,
-        samples=samples,
-        seed=seed,
-        config=cfg,
-        keep_results=True,
-        init=entry.init,
         scheduler=scheduler,
-    )
-    row = CampaignRow(
-        class_name=entry.name,
-        version=version,
-        methods=entry.method_count,
-        preemption_bound=cfg.preemption_bound,
-    )
-    fail_times: list[float] = []
-    pass_times: list[float] = []
-    for result in campaign.results:
-        row.tests_run += 1
-        row.histories_avg += result.phase1.histories
-        row.histories_max = max(row.histories_max, result.phase1.histories)
-        row.phase1_avg_s += result.phase1_seconds
-        row.phase1_max_s = max(row.phase1_max_s, result.phase1_seconds)
-        if result.phase1.stuck_histories:
-            row.stuck_tests += 1
-        total = result.phase1_seconds + result.phase2_seconds
-        if result.failed:
-            row.tests_failed += 1
-            fail_times.append(total)
-        else:
-            row.tests_passed += 1
-            pass_times.append(total)
-    if row.tests_run:
-        row.histories_avg /= row.tests_run
-        row.phase1_avg_s /= row.tests_run
-    if fail_times:
-        row.fail_avg_s = sum(fail_times) / len(fail_times)
-    if pass_times:
-        row.pass_avg_s = sum(pass_times) / len(pass_times)
-    return row, campaign.results
+        max_steps=cfg.max_steps,
+        watchdog=cfg.watchdog_seconds,
+    ) as harness:
+        for test in list(tests)[len(summaries):]:
+            if control is not None:
+                reason = control.halt_reason()
+                if reason is not None:
+                    stop_reason = reason
+                    break
+            result = check_with_harness(harness, test, cfg, control=control)
+            if result.exhausted:
+                stop_reason = result.exhausted_reason
+                break
+            summaries.append(TestSummary.from_result(result))
+            results.append(result)
+            if on_test is not None:
+                on_test(summaries)
+    row = row_from_summaries(entry, version, summaries, cfg)
+    row.stop_reason = stop_reason
+    return row, results
 
 
 def verify_causes(
@@ -123,7 +246,12 @@ def verify_causes(
     found: list[str] = []
     dimensions: dict[str, tuple[int, int]] = {}
     subject = SystemUnderTest(entry.factory(version), f"{entry.name}({version})")
-    with TestHarness(subject, scheduler=scheduler, max_steps=cfg.max_steps) as harness:
+    with TestHarness(
+        subject,
+        scheduler=scheduler,
+        max_steps=cfg.max_steps,
+        watchdog=cfg.watchdog_seconds,
+    ) as harness:
         for cause in entry.causes_for(version):
             if cause.witness_test is None:
                 continue

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
+from repro.core.budget import BudgetMeter, ExplorationBudget, ExplorationControl
 from repro.core.harness import Phase1Stats, SystemUnderTest, TestHarness
 from repro.core.history import History, SerialHistory
 from repro.core.spec import NondeterminismWitness, ObservationSet
@@ -38,6 +39,9 @@ from repro.runtime import (
     Scheduler,
     SchedulingStrategy,
 )
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.core.checkpoint import Checkpointer, CheckResume
 
 __all__ = [
     "CheckConfig",
@@ -78,6 +82,15 @@ class CheckConfig:
     max_concurrent_executions: int | None = 20_000
     max_steps: int = 20_000
     stop_at_first_violation: bool = True
+    #: exploration budget; when tripped, the check stops with verdict
+    #: "EXHAUSTED" and partial statistics (unlike the ``max_*`` caps
+    #: above, which silently truncate for interactive use).
+    budget: ExplorationBudget | None = None
+    #: enable the scheduler watchdog: max seconds a single operation may
+    #: run between scheduling points before the execution is classified
+    #: divergent.  None (the default) disables the watchdog.  Only applies
+    #: to schedulers the check creates, not to a caller-provided one.
+    watchdog_seconds: float | None = None
 
     def make_phase2_strategy(self) -> SchedulingStrategy:
         if self.phase2_strategy == "dfs":
@@ -132,9 +145,16 @@ class Violation:
 
 @dataclass
 class CheckResult:
-    """Outcome and statistics of one ``Check(X, m)`` run (Table 2 inputs)."""
+    """Outcome and statistics of one ``Check(X, m)`` run (Table 2 inputs).
 
-    verdict: str  #: "PASS" or "FAIL"
+    ``verdict`` is ``"PASS"``, ``"FAIL"``, or ``"EXHAUSTED"`` — the last
+    when an exploration budget tripped (or the run was interrupted)
+    before any violation was found.  A FAIL always wins over EXHAUSTED:
+    per Theorem 5 a violation is a proof regardless of how much of the
+    search space was left unexplored.
+    """
+
+    verdict: str  #: "PASS", "FAIL" or "EXHAUSTED"
     test: FiniteTest
     violations: list[Violation] = field(default_factory=list)
     observations: ObservationSet | None = None
@@ -144,6 +164,14 @@ class CheckResult:
     phase2_full: int = 0
     phase2_stuck: int = 0
     phase2_seconds: float = 0.0
+    #: subset of ``phase2_stuck`` that the watchdog cut off (divergent).
+    phase2_divergent: int = 0
+    #: why exploration stopped early ("deadline", "executions",
+    #: "decisions", "interrupted"); None for a completed run.
+    exhausted_reason: str | None = None
+    #: False when phase 2 stopped before its strategy was exhausted
+    #: (budget trip, interrupt, or the legacy max_concurrent cap).
+    phase2_complete: bool = True
 
     @property
     def passed(self) -> bool:
@@ -152,6 +180,10 @@ class CheckResult:
     @property
     def failed(self) -> bool:
         return self.verdict == "FAIL"
+
+    @property
+    def exhausted(self) -> bool:
+        return self.verdict == "EXHAUSTED"
 
     @property
     def violation(self) -> Violation | None:
@@ -163,28 +195,107 @@ def check(
     test: FiniteTest,
     config: CheckConfig | None = None,
     scheduler: Scheduler | None = None,
+    *,
+    control: ExplorationControl | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    resume: "CheckResume | None" = None,
 ) -> CheckResult:
     """Run the two-phase Check of Figure 5 on one finite test."""
+    cfg = config or CheckConfig()
     with TestHarness(
-        subject, scheduler=scheduler, max_steps=(config or CheckConfig()).max_steps
+        subject,
+        scheduler=scheduler,
+        max_steps=cfg.max_steps,
+        watchdog=cfg.watchdog_seconds,
     ) as harness:
-        return check_with_harness(harness, test, config)
+        return check_with_harness(
+            harness,
+            test,
+            cfg,
+            control=control,
+            checkpointer=checkpointer,
+            resume=resume,
+        )
 
 
 def check_with_harness(
     harness: TestHarness,
     test: FiniteTest,
     config: CheckConfig | None = None,
+    *,
+    control: ExplorationControl | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    resume: "CheckResume | None" = None,
 ) -> CheckResult:
-    """Like :func:`check` but reusing an existing harness/scheduler."""
+    """Like :func:`check` but reusing an existing harness/scheduler.
+
+    *control* carries the exploration budget and stop flag (one is
+    derived from ``config.budget`` when absent); *checkpointer*
+    periodically persists the exploration frontier; *resume* continues a
+    previous partial run parsed from a checkpoint.
+    """
     cfg = config or CheckConfig()
+    if control is None and cfg.budget is not None:
+        control = ExplorationControl(budget=cfg.budget)
+    if (
+        control is not None
+        and resume is not None
+        and resume.budget_snapshot is not None
+    ):
+        # Honour the original budget across sessions: the restored meter
+        # carries the elapsed time and counts of the interrupted run.
+        control.meter = BudgetMeter.from_snapshot(resume.budget_snapshot)
+    if control is not None:
+        control.start()
+
+    def budget_snapshot() -> dict | None:
+        if control is not None and control.meter is not None:
+            return control.meter.snapshot()
+        return None
 
     # ---- Phase 1: synthesize the specification from serial executions.
-    t0 = time.perf_counter()
-    observations, stats = harness.run_serial(
-        test, max_executions=cfg.max_serial_executions
-    )
-    phase1_seconds = time.perf_counter() - t0
+    phase1_base = resume.phase1_seconds if resume is not None else 0.0
+    if resume is not None and resume.phase == "phase2":
+        assert resume.observations is not None
+        observations = resume.observations
+        stats = resume.phase1
+        phase1_seconds = phase1_base
+    else:
+        t0 = time.perf_counter()
+        serial_strategy = (
+            resume.strategy
+            if resume is not None and resume.strategy is not None
+            else DFSStrategy(preemption_bound=None)
+        )
+        on_execution = None
+        if checkpointer is not None:
+            from repro.core.checkpoint import build_check_state
+
+            def on_execution(obs, st, strat) -> None:
+                checkpointer.tick(
+                    lambda: build_check_state(
+                        test=test,
+                        config=cfg,
+                        phase="phase1",
+                        strategy=strat,
+                        observations=obs,
+                        phase1=st,
+                        phase1_seconds=phase1_base + time.perf_counter() - t0,
+                        budget_snapshot=budget_snapshot(),
+                    )
+                )
+
+        observations, stats = harness.run_serial(
+            test,
+            max_executions=cfg.max_serial_executions,
+            observations=resume.observations if resume is not None else None,
+            stats=resume.phase1 if resume is not None else None,
+            strategy=serial_strategy,
+            control=control,
+            on_execution=on_execution,
+        )
+        phase1_seconds = phase1_base + time.perf_counter() - t0
+
     result = CheckResult(
         verdict="PASS",
         test=test,
@@ -193,6 +304,8 @@ def check_with_harness(
         phase1_seconds=phase1_seconds,
     )
     if not observations.is_deterministic:
+        # Sound even on a partial observation set: the two conflicting
+        # serial histories exist regardless of what was left unexplored.
         result.verdict = "FAIL"
         result.violations.append(
             Violation(
@@ -202,9 +315,50 @@ def check_with_harness(
             )
         )
         return result
+    if stats.stop_reason is not None:
+        # Phase 1 cut short by the budget or an interrupt.  Phase 2
+        # against a partial specification could report unsound FAILs
+        # (a legitimate serial witness may simply not have been
+        # enumerated yet), so stop here with an explicit EXHAUSTED.
+        result.verdict = "EXHAUSTED"
+        result.exhausted_reason = stats.stop_reason
+        result.phase2_complete = False
+        if checkpointer is not None:
+            from repro.core.checkpoint import build_check_state
+
+            checkpointer.save(
+                build_check_state(
+                    test=test,
+                    config=cfg,
+                    phase="phase1",
+                    strategy=serial_strategy,
+                    observations=observations,
+                    phase1=stats,
+                    phase1_seconds=phase1_seconds,
+                    budget_snapshot=budget_snapshot(),
+                )
+            )
+        return result
 
     # ---- Phase 2: check the concurrent executions against A and B.
-    _run_phase2(harness, test, observations, cfg, result)
+    phase2_strategy = None
+    if resume is not None and resume.phase == "phase2":
+        phase2_strategy = resume.strategy
+        result.phase2_executions = int(resume.phase2.get("executions", 0))
+        result.phase2_full = int(resume.phase2.get("full", 0))
+        result.phase2_stuck = int(resume.phase2.get("stuck", 0))
+        result.phase2_divergent = int(resume.phase2.get("divergent", 0))
+        result.phase2_seconds = float(resume.phase2.get("seconds", 0.0))
+    _run_phase2(
+        harness,
+        test,
+        observations,
+        cfg,
+        result,
+        control=control,
+        checkpointer=checkpointer,
+        strategy=phase2_strategy,
+    )
     return result
 
 
@@ -213,6 +367,8 @@ def check_against_observations(
     test: FiniteTest,
     observations: ObservationSet,
     config: CheckConfig | None = None,
+    *,
+    control: ExplorationControl | None = None,
 ) -> CheckResult:
     """Spec-relative check: phase 2 only, against a *given* specification.
 
@@ -224,8 +380,10 @@ def check_against_observations(
     from a reference implementation's phase 1 (differential checking).
     """
     cfg = config or CheckConfig()
+    if control is None and cfg.budget is not None:
+        control = ExplorationControl(budget=cfg.budget)
     result = CheckResult(verdict="PASS", test=test, observations=observations)
-    _run_phase2(harness, test, observations, cfg, result)
+    _run_phase2(harness, test, observations, cfg, result, control=control)
     return result
 
 
@@ -235,16 +393,58 @@ def _run_phase2(
     observations: ObservationSet,
     cfg: CheckConfig,
     result: CheckResult,
+    *,
+    control: ExplorationControl | None = None,
+    checkpointer: "Checkpointer | None" = None,
+    strategy: SchedulingStrategy | None = None,
 ) -> None:
     t1 = time.perf_counter()
-    strategy = cfg.make_phase2_strategy()
+    seconds_base = result.phase2_seconds
+    if strategy is None:
+        strategy = cfg.make_phase2_strategy()
+    if control is not None:
+        control.start()
+    remaining = cfg.max_concurrent_executions
+    if remaining is not None:
+        remaining = max(0, remaining - result.phase2_executions)
+
+    def make_state() -> dict:
+        from repro.core.checkpoint import build_check_state
+
+        return build_check_state(
+            test=test,
+            config=cfg,
+            phase="phase2",
+            strategy=strategy,
+            observations=observations,
+            phase1=result.phase1,
+            phase1_seconds=result.phase1_seconds,
+            phase2={
+                "executions": result.phase2_executions,
+                "full": result.phase2_full,
+                "stuck": result.phase2_stuck,
+                "divergent": result.phase2_divergent,
+                "seconds": seconds_base + time.perf_counter() - t1,
+            },
+            budget_snapshot=(
+                control.meter.snapshot()
+                if control is not None and control.meter is not None
+                else None
+            ),
+        )
+
+    halted: str | None = None
     for history, outcome in harness.explore_concurrent(
-        test, strategy, max_executions=cfg.max_concurrent_executions
+        test, strategy, max_executions=remaining
     ):
         result.phase2_executions += 1
+        if control is not None:
+            control.note(outcome)
         violation: Violation | None = None
         if history.stuck:
             result.phase2_stuck += 1
+            if history.divergent:
+                result.phase2_divergent += 1
             stuck_check = check_stuck_history(history, observations)
             if not stuck_check.ok:
                 violation = Violation(
@@ -268,4 +468,21 @@ def _run_phase2(
             result.violations.append(violation)
             if cfg.stop_at_first_violation:
                 break
-    result.phase2_seconds = time.perf_counter() - t1
+        if control is not None:
+            halted = control.halt_reason()
+            if halted is not None:
+                break
+        if checkpointer is not None:
+            checkpointer.tick(make_state)
+    result.phase2_seconds = seconds_base + time.perf_counter() - t1
+    if halted is not None:
+        result.exhausted_reason = halted
+        result.phase2_complete = False
+        if result.verdict != "FAIL":
+            # A FAIL found before the budget tripped remains a proof;
+            # otherwise the run is explicitly marked incomplete.
+            result.verdict = "EXHAUSTED"
+        if checkpointer is not None:
+            checkpointer.save(make_state())
+    elif strategy.more():
+        result.phase2_complete = False

@@ -1,0 +1,36 @@
+"""Crash-safe file writes for observation files and checkpoints.
+
+A checker that can be killed at any moment (deadline, SIGTERM, OOM) must
+never leave a half-written artifact where a complete one used to be: a
+truncated checkpoint is worse than none.  ``atomic_write_text`` gives the
+standard guarantee — readers see either the old contents or the new,
+never a mixture — via a temp file in the same directory (same filesystem,
+so the rename is atomic), an fsync, and ``os.replace``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Atomically replace the file at *path* with *text* (UTF-8)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -21,17 +21,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.core.budget import ExplorationControl
 from repro.core.events import Event, Invocation, Response
 from repro.core.history import History
 from repro.core.spec import ObservationSet
 from repro.core.testcase import FiniteTest
 from repro.runtime import (
     DFSStrategy,
+    ExecutionAbort,
     ExecutionOutcome,
     Runtime,
     Scheduler,
     SchedulerError,
     SchedulingStrategy,
+    WatchdogConfig,
 )
 
 __all__ = ["HarnessError", "OpMark", "Phase1Stats", "SystemUnderTest", "TestHarness"]
@@ -77,6 +80,13 @@ class Phase1Stats:
     executions: int = 0
     histories: int = 0  #: distinct serial histories recorded
     stuck_histories: int = 0
+    divergent: int = 0  #: executions cut off by the watchdog
+    #: why enumeration stopped early ("deadline", "executions",
+    #: "decisions", "interrupted"), or None.
+    stop_reason: str | None = None
+    #: False when the enumeration did not exhaust the serial executions
+    #: (budget trip, interrupt, or the legacy max_executions cap).
+    complete: bool = True
 
 
 class TestHarness:
@@ -93,10 +103,15 @@ class TestHarness:
         subject: SystemUnderTest,
         scheduler: Scheduler | None = None,
         max_steps: int = 20_000,
+        watchdog: WatchdogConfig | float | None = None,
     ) -> None:
         self.subject = subject
         self._owns_scheduler = scheduler is None
-        self.scheduler = scheduler if scheduler is not None else Scheduler(max_steps)
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else Scheduler(max_steps, watchdog=watchdog)
+        )
         self.runtime = Runtime(self.scheduler)
 
     # -- lifecycle ---------------------------------------------------------
@@ -192,7 +207,14 @@ class TestHarness:
             # structure's use of the scheduler API, never a legitimate
             # response of the object under test.
             raise
-        except Exception as exc:  # the response *is* the exception
+        except ExecutionAbort:
+            # Teardown unwind (stuck/divergent execution) — must keep
+            # propagating or the abort handshake never completes.
+            raise
+        except BaseException as exc:  # the response *is* the exception
+            # Includes KeyboardInterrupt/SystemExit raised *by the
+            # subject*: a hostile operation must become an exceptional
+            # response, not a crash of the checker.
             return Response.raised(exc)
 
     # -- running ----------------------------------------------------------------
@@ -205,33 +227,77 @@ class TestHarness:
             raise HarnessError(
                 f"thread {tid} crashed outside an operation: {exc!r}"
             ) from exc
-        return History(outcome.events, test.n_threads, stuck=outcome.stuck)
+        # A divergent execution is classified as stuck: its pending
+        # operation observably never responded, which is exactly what a
+        # stuck history records (the watchdog merely bounded the wait).
+        return History(
+            outcome.events,
+            test.n_threads,
+            stuck=outcome.status != "complete",
+            divergent=outcome.divergent,
+        )
 
     def run_serial(
-        self, test: FiniteTest, max_executions: int | None = None
+        self,
+        test: FiniteTest,
+        max_executions: int | None = None,
+        *,
+        observations: ObservationSet | None = None,
+        stats: Phase1Stats | None = None,
+        strategy: DFSStrategy | None = None,
+        control: ExplorationControl | None = None,
+        on_execution: Any = None,
     ) -> tuple[ObservationSet, Phase1Stats]:
         """Phase 1: enumerate all serial executions, synthesize the spec.
 
         Uses unbounded DFS (no preemption bounding — there are no
         preemptions in serial mode anyway), preserving the completeness
         guarantee of Theorem 5.
+
+        *observations*/*stats*/*strategy* continue a previous partial run
+        (checkpoint resume); *control* imposes an exploration budget and
+        stop flag, recorded in ``stats.stop_reason`` when tripped;
+        *on_execution* (called as ``on_execution(observations, stats,
+        strategy)`` after each execution) is the checkpoint hook.
         """
-        observations = ObservationSet(test.n_threads)
-        stats = Phase1Stats()
-        strategy = DFSStrategy(preemption_bound=None)
+        observations = (
+            observations if observations is not None else ObservationSet(test.n_threads)
+        )
+        stats = stats if stats is not None else Phase1Stats()
+        strategy = (
+            strategy if strategy is not None else DFSStrategy(preemption_bound=None)
+        )
+        if control is not None:
+            control.start()
+        remaining = None
+        if max_executions is not None:
+            remaining = max(0, max_executions - stats.executions)
         for outcome in self.scheduler.explore(
             lambda: self._bodies(test),
             strategy,
             serial=True,
-            max_executions=max_executions,
+            max_executions=remaining,
         ):
             stats.executions += 1
+            if control is not None:
+                control.note(outcome)
             history = self.history_from_outcome(outcome, test)
+            if history.divergent:
+                stats.divergent += 1
             serial = history.to_serial()
             if observations.add(serial):
                 stats.histories += 1
                 if serial.stuck:
                     stats.stuck_histories += 1
+            if control is not None:
+                reason = control.halt_reason()
+                if reason is not None:
+                    stats.stop_reason = reason
+                    break
+            if on_execution is not None:
+                on_execution(observations, stats, strategy)
+        if stats.stop_reason is not None or strategy.more():
+            stats.complete = False
         return observations, stats
 
     def explore_concurrent(

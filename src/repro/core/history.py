@@ -52,10 +52,23 @@ class SerialStep:
 class History:
     """A (possibly stuck) well-formed single-object history."""
 
-    def __init__(self, events: Iterable[Event], n_threads: int, stuck: bool = False):
+    def __init__(
+        self,
+        events: Iterable[Event],
+        n_threads: int,
+        stuck: bool = False,
+        divergent: bool = False,
+    ):
         self.events: tuple[Event, ...] = tuple(events)
         self.n_threads = n_threads
         self.stuck = stuck
+        # A divergent history is a stuck history that was cut off by the
+        # watchdog rather than by a scheduler-detected deadlock/livelock:
+        # the pending operation ran away in uninstrumented code.  It is
+        # *classified* like stuck (the operation observably never
+        # responded), so ``divergent`` is annotation only — deliberately
+        # excluded from __eq__/__hash__.
+        self.divergent = divergent
 
     def __len__(self) -> int:
         return len(self.events)

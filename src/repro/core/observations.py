@@ -29,16 +29,28 @@ from typing import Iterable
 from xml.etree import ElementTree as ET
 
 from repro.core.events import Invocation, Response
+from repro.core.fileio import atomic_write_text
 from repro.core.history import History, Profile, SerialHistory, SerialStep
 from repro.core.spec import ObservationSet
 
 __all__ = [
+    "ObservationFileError",
     "history_line",
     "load_observations",
     "observations_from_xml",
     "observations_to_xml",
     "save_observations",
 ]
+
+
+class ObservationFileError(Exception):
+    """An observation file could not be read or parsed.
+
+    Raised with the offending path and underlying cause for anything from
+    a missing file to truncated XML or a malformed value attribute, so
+    callers (and users) see one clear error type instead of a grab bag of
+    ``OSError`` / ``xml`` / ``ast`` internals.
+    """
 
 
 def _thread_label(thread: int) -> str:
@@ -183,12 +195,30 @@ def observations_from_xml(text: str) -> ObservationSet:
 
 
 def save_observations(observations: ObservationSet, path: str) -> None:
-    """Write the observation file to *path*."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(observations_to_xml(observations))
+    """Write the observation file to *path* (atomically: temp + rename).
+
+    A crash mid-write leaves the previous file intact; readers never see
+    a truncated observation set.
+    """
+    atomic_write_text(path, observations_to_xml(observations))
 
 
 def load_observations(path: str) -> ObservationSet:
-    """Read an observation file from *path*."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return observations_from_xml(handle.read())
+    """Read an observation file from *path*.
+
+    Raises :class:`ObservationFileError` when the file is missing,
+    unreadable, truncated, or otherwise malformed.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ObservationFileError(
+            f"cannot read observation file {path!r}: {exc}"
+        ) from exc
+    try:
+        return observations_from_xml(text)
+    except (ET.ParseError, ValueError, SyntaxError, KeyError, StopIteration) as exc:
+        raise ObservationFileError(
+            f"corrupt observation file {path!r}: {exc}"
+        ) from exc

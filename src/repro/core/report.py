@@ -124,20 +124,35 @@ def render_violation(
 
 def render_check_result(result: CheckResult) -> str:
     """Render a full CheckResult (verdict, stats, violations)."""
+    divergent = ""
+    if result.phase2_divergent:
+        divergent = f", {result.phase2_divergent} divergent"
+    p1_divergent = ""
+    if result.phase1.divergent:
+        p1_divergent = f", {result.phase1.divergent} divergent executions"
     lines = [
         f"verdict: {result.verdict}",
         (
             f"phase 1: {result.phase1.executions} serial executions, "
             f"{result.phase1.histories} histories "
-            f"({result.phase1.stuck_histories} stuck), "
+            f"({result.phase1.stuck_histories} stuck){p1_divergent}, "
             f"{result.phase1_seconds * 1000:.1f} ms"
         ),
         (
             f"phase 2: {result.phase2_executions} concurrent executions "
-            f"({result.phase2_full} full, {result.phase2_stuck} stuck), "
+            f"({result.phase2_full} full, {result.phase2_stuck} stuck{divergent}), "
             f"{result.phase2_seconds * 1000:.1f} ms"
         ),
     ]
+    if result.exhausted_reason is not None:
+        what = (
+            "interrupted"
+            if result.exhausted_reason == "interrupted"
+            else f"budget exhausted ({result.exhausted_reason})"
+        )
+        lines.append(
+            f"note: exploration incomplete — {what}; statistics are partial"
+        )
     for violation in result.violations:
         lines.append("")
         lines.append(render_violation(violation, result.observations))

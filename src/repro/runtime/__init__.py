@@ -39,7 +39,9 @@ from repro.runtime.strategies import (
     PCTStrategy,
     RandomStrategy,
     ReplayStrategy,
+    strategy_from_snapshot,
 )
+from repro.runtime.watchdog import WatchdogConfig, interrupt_thread
 
 __all__ = [
     "AccessRecord",
@@ -63,5 +65,8 @@ __all__ = [
     "SharedDict",
     "SharedList",
     "VolatileCell",
+    "WatchdogConfig",
+    "interrupt_thread",
+    "strategy_from_snapshot",
     "thread_name",
 ]

@@ -42,6 +42,7 @@ down by aborting the still-blocked workers with :class:`ExecutionAbort`.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -50,6 +51,7 @@ from repro.runtime.errors import (
     ExecutionAbort,
     SchedulerError,
 )
+from repro.runtime.watchdog import WatchdogConfig, interrupt_thread
 
 __all__ = [
     "Decision",
@@ -103,7 +105,7 @@ class Decision:
 class ExecutionOutcome:
     """Everything observable about one terminated (or stuck) execution."""
 
-    status: str  #: ``"complete"`` or ``"stuck"``
+    status: str  #: ``"complete"``, ``"stuck"`` or ``"divergent"``
     stuck_kind: str | None = None  #: ``"deadlock"``, ``"livelock"`` or None
     decisions: list[Decision] = field(default_factory=list)
     events: list[Any] = field(default_factory=list)
@@ -120,6 +122,11 @@ class ExecutionOutcome:
     def stuck(self) -> bool:
         return self.status == "stuck"
 
+    @property
+    def divergent(self) -> bool:
+        """True when the watchdog cut this execution off mid-operation."""
+        return self.status == "divergent"
+
 
 class _Worker:
     """A pooled OS thread hosting one logical thread per execution."""
@@ -128,6 +135,15 @@ class _Worker:
         self.scheduler = scheduler
         self.slot = slot
         self.baton = threading.Semaphore(0)
+        # Teardown handshake: set when this worker has observed an abort
+        # and parked itself again.  Per-worker (not a shared semaphore) so
+        # the controller can tell exactly which worker failed to
+        # acknowledge within the bounded wait and abandon just that one.
+        self.ack = threading.Event()
+        # An abandoned worker lost its pool slot (it never acknowledged an
+        # abort — typically wedged in a blocking C call); when it finally
+        # wakes it must exit its loop without touching scheduler state.
+        self.abandoned = False
         self.body: Callable[[], None] | None = None
         self.tid: int = -1
         self.state: str = _DONE
@@ -175,8 +191,18 @@ class _Worker:
             self.state = _DONE
             self.predicate = None
             self.body = None
-            if sched._tearing_down:
-                sched._ack.release()
+            # Read order matters: ``_tearing_down`` before ``abandoned``.
+            # The controller abandons a worker *before* clearing
+            # ``_tearing_down``, so a worker that sees the flag already
+            # cleared is guaranteed to see ``abandoned`` set — it can never
+            # mistake a finished teardown for a live execution and corrupt
+            # the next one with a spurious completion.
+            tearing_down = sched._tearing_down
+            if self.abandoned:
+                self.ack.set()
+                return
+            if tearing_down:
+                self.ack.set()
             else:
                 sched._on_thread_done()
 
@@ -194,14 +220,30 @@ class Scheduler:
     :meth:`explore` or :meth:`execute`.
     """
 
-    def __init__(self, max_steps: int = 20_000) -> None:
+    def __init__(
+        self,
+        max_steps: int = 20_000,
+        watchdog: WatchdogConfig | float | None = None,
+        abort_timeout: float = 10.0,
+    ) -> None:
         if max_steps <= 0:
             raise ValueError("max_steps must be positive")
+        if abort_timeout < 0:
+            raise ValueError("abort_timeout must be >= 0")
+        if isinstance(watchdog, (int, float)) and not isinstance(watchdog, bool):
+            watchdog = WatchdogConfig(time_limit=float(watchdog))
         self.max_steps = max_steps
+        self.watchdog = watchdog
+        self.abort_timeout = abort_timeout
         self._workers: list[_Worker] = []
         self._main = threading.Semaphore(0)
-        self._ack = threading.Semaphore(0)
         self._local = threading.local()
+        # Monotonic progress counter, bumped by steps, baton handovers and
+        # thread completions.  The watchdog declares an execution divergent
+        # when this stops moving for ``watchdog.time_limit`` seconds.
+        # Lost increments under concurrent bumps are harmless: the watchdog
+        # only cares whether the value *changed*.
+        self._progress_ticks = 0
         # Per-execution state.
         self._active: list[_Worker] = []
         self._strategy = None
@@ -421,6 +463,7 @@ class Scheduler:
     def _bump_step(self) -> None:
         outcome = self._current_outcome()
         outcome.steps += 1
+        self._progress_ticks += 1
         if outcome.steps > self.max_steps:
             self._finish_stuck("livelock")
             raise ExecutionAbort()
@@ -448,6 +491,7 @@ class Scheduler:
             worker.predicate = None
             worker.fresh = True
             worker.yielded = False
+            worker.ack.clear()
         self._strategy = strategy
         self._serial = serial
         self._outcome = ExecutionOutcome(status="complete")
@@ -459,7 +503,7 @@ class Scheduler:
         if first is None:  # pragma: no cover - bodies is non-empty
             raise SchedulerError("no thread enabled at execution start")
         self._hand_baton(first)
-        self._main.acquire()
+        self._await_completion()
         self._teardown()
         outcome = self._outcome
         assert outcome is not None
@@ -477,7 +521,51 @@ class Scheduler:
 
     def _hand_baton(self, worker: _Worker) -> None:
         self._running = worker
+        self._progress_ticks += 1
         worker.baton.release()
+
+    def _await_completion(self) -> None:
+        """Wait for the execution to finish, policing it with the watchdog.
+
+        Without a watchdog this is a plain blocking wait (an operation that
+        loops in uninstrumented code then hangs the process — the pre-
+        watchdog behaviour).  With one, the controller polls: whenever
+        ``_progress_ticks`` stalls for ``time_limit`` seconds the running
+        logical thread is deemed wedged and the execution is torn down as
+        *divergent*.
+        """
+        cfg = self.watchdog
+        if cfg is None:
+            self._main.acquire()
+            return
+        ticks = self._progress_ticks
+        deadline = time.monotonic() + cfg.time_limit
+        while True:
+            if self._main.acquire(timeout=cfg.poll_interval):
+                return
+            now = time.monotonic()
+            seen = self._progress_ticks
+            if seen != ticks:
+                ticks = seen
+                deadline = now + cfg.time_limit
+                continue
+            if now < deadline:
+                continue
+            # Stalled.  Raise the teardown flag first: any worker that
+            # reaches an instrumented point from here on aborts instead of
+            # mutating scheduler state.  Then grant one grace poll in case
+            # the execution was completing at this very instant.
+            self._tearing_down = True
+            if self._main.acquire(timeout=cfg.poll_interval):
+                outcome = self._current_outcome()
+                if outcome.status == "complete":
+                    # Genuine completion that raced the watchdog: the flag
+                    # was never observed by anyone (all bodies already
+                    # finished), so clear it and carry on.
+                    self._tearing_down = False
+                return
+            self._finish_divergent(cfg)
+            return
 
     def _enabled_tids(self) -> list[int]:
         return [w.tid for w in self._active if w.enabled()]
@@ -536,6 +624,7 @@ class Scheduler:
 
     def _on_thread_done(self) -> None:
         """Called from a worker whose body just finished."""
+        self._progress_ticks += 1
         if all(w.state == _DONE for w in self._active):
             self._main.release()
             return
@@ -572,7 +661,14 @@ class Scheduler:
         self._main.release()
 
     def _teardown(self) -> None:
-        """Abort any workers still alive after a stuck execution."""
+        """Abort any workers still alive after a stuck execution.
+
+        The wait for each worker's acknowledgement is bounded by
+        ``abort_timeout``: a worker that swallows :class:`ExecutionAbort`
+        (hostile cleanup code) or wedges on the unwind path is abandoned —
+        its pool slot is replaced with a fresh worker — so a single bad
+        execution can never poison the pool for the executions after it.
+        """
         if not self._tearing_down:
             return
         for worker in self._abort_unstarted:
@@ -585,12 +681,68 @@ class Scheduler:
             # parked workers need their baton released to observe the abort.
             if worker is not self._running:
                 worker.baton.release()
-        for _ in self._abort_acks:
-            self._ack.acquire()
+        deadline = time.monotonic() + self.abort_timeout
+        for worker in self._abort_acks:
+            remaining = deadline - time.monotonic()
+            if not worker.ack.wait(timeout=max(0.0, remaining)):
+                self._abandon(worker)
         self._abort_acks = []
         self._abort_unstarted = []
         self._tearing_down = False
         self._running = None
+
+    def _finish_divergent(self, cfg: WatchdogConfig) -> None:
+        """Tear down a wedged execution from the controller side.
+
+        Entered with ``_tearing_down`` already raised.  Unlike
+        :meth:`_finish_stuck` this runs on the controller thread while the
+        wedged worker still nominally holds the baton, so the victim is
+        interrupted with an asynchronously injected
+        :class:`ExecutionAbort`; workers that fail to acknowledge within
+        ``abandon_timeout`` are abandoned and their pool slots replaced.
+        """
+        outcome = self._current_outcome()
+        outcome.status = "divergent"
+        outcome.stuck_kind = None
+        outcome.pending_threads = tuple(
+            w.tid for w in self._active if w.state != _DONE
+        )
+        victim = self._running
+        acks = [w for w in self._active if w.state in (_RUNNABLE, _BLOCKED)]
+        for worker in self._active:
+            if worker.state == _UNSTARTED:
+                worker.body = None
+                worker.state = _DONE
+        for worker in acks:
+            # Parked workers observe the abort via their baton; the victim
+            # is (by definition) not parked and needs the async exception.
+            if worker is not victim:
+                worker.baton.release()
+        if victim is not None and victim in acks:
+            interrupt_thread(victim.os_thread)
+        deadline = time.monotonic() + cfg.abandon_timeout
+        for worker in acks:
+            remaining = deadline - time.monotonic()
+            if not worker.ack.wait(timeout=max(0.0, remaining)):
+                self._abandon(worker)
+        # A completion signal may have raced the teardown; swallow it so it
+        # cannot leak into the next execution's wait.
+        while self._main.acquire(blocking=False):
+            pass
+        self._abort_acks = []
+        self._abort_unstarted = []
+        self._tearing_down = False
+        self._running = None
+
+    def _abandon(self, worker: _Worker) -> None:
+        """Write off *worker* and put a fresh worker in its pool slot.
+
+        Abandonment must precede clearing ``_tearing_down`` (see the read
+        ordering in :meth:`_Worker._loop`).  The stale daemon thread exits
+        on its own if it ever wakes; until then it is parked harmlessly.
+        """
+        worker.abandoned = True
+        self._workers[worker.slot] = _Worker(self, worker.slot)
 
 
 class SchedulingStrategy:

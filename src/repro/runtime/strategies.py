@@ -36,6 +36,7 @@ __all__ = [
     "PCTStrategy",
     "RandomStrategy",
     "ReplayStrategy",
+    "strategy_from_snapshot",
 ]
 
 
@@ -179,6 +180,48 @@ class DFSStrategy(SchedulingStrategy):
             return option
         return None
 
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of the DFS frontier, taken between executions.
+
+        The stack (post-backtrack) *is* the resume point: replaying its
+        chosen prefix reproduces the next unexplored execution, and all
+        decision payloads are small integers (thread ids / choice indices),
+        so the snapshot round-trips through JSON losslessly.
+        """
+        return {
+            "type": "dfs",
+            "preemption_bound": self.preemption_bound,
+            "exhausted": self._exhausted,
+            "executions": self.executions,
+            "stack": [
+                [
+                    node.kind,
+                    list(node.options),
+                    node.running,
+                    node.free,
+                    node.chosen,
+                    sorted(node.tried),
+                    node.preemptions,
+                ]
+                for node in self._stack
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "DFSStrategy":
+        strategy = cls(preemption_bound=snap["preemption_bound"])
+        strategy._exhausted = bool(snap["exhausted"])
+        strategy.executions = int(snap["executions"])
+        for kind, options, running, free, chosen, tried, preemptions in snap[
+            "stack"
+        ]:
+            node = _Node(kind, tuple(options), running, free, chosen, preemptions)
+            node.tried = set(tried)
+            strategy._stack.append(node)
+        return strategy
+
 
 class RandomStrategy(SchedulingStrategy):
     """Random walk sampling of schedules, seeded for reproducibility.
@@ -226,6 +269,27 @@ class RandomStrategy(SchedulingStrategy):
     def finish(self, outcome: ExecutionOutcome) -> None:
         self._remaining -= 1
         self.executions += 1
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "random",
+            "remaining": self._remaining,
+            "preempt_prob": self.preempt_prob,
+            "executions": self.executions,
+            "rng": _rng_state_to_json(self._rng),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "RandomStrategy":
+        strategy = cls(
+            executions=int(snap["remaining"]),
+            preempt_prob=snap["preempt_prob"],
+        )
+        strategy.executions = int(snap["executions"])
+        _rng_state_from_json(strategy._rng, snap["rng"])
+        return strategy
 
 
 class ReplayStrategy(SchedulingStrategy):
@@ -305,6 +369,25 @@ class IterativeDFSStrategy(SchedulingStrategy):
         self._inner.finish(outcome)
         self.executions += 1
 
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "type": "iterative",
+            "max_bound": self.max_bound,
+            "bound": self.bound,
+            "executions": self.executions,
+            "inner": self._inner.snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "IterativeDFSStrategy":
+        strategy = cls(max_bound=int(snap["max_bound"]))
+        strategy.bound = int(snap["bound"])
+        strategy.executions = int(snap["executions"])
+        strategy._inner = DFSStrategy.from_snapshot(snap["inner"])
+        return strategy
+
 
 class PCTStrategy(SchedulingStrategy):
     """Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010).
@@ -374,3 +457,53 @@ class PCTStrategy(SchedulingStrategy):
         self.executions += 1
         # Learn the schedule length for change-point placement.
         self._steps_estimate = max(self._steps_estimate, self._step, 1)
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        # Per-execution state (_priorities, _change_points, ...) is reset
+        # by begin(), so only the cross-execution state needs saving.
+        return {
+            "type": "pct",
+            "remaining": self._remaining,
+            "depth": self.depth,
+            "executions": self.executions,
+            "steps_estimate": self._steps_estimate,
+            "rng": _rng_state_to_json(self._rng),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "PCTStrategy":
+        strategy = cls(executions=int(snap["remaining"]), depth=int(snap["depth"]))
+        strategy.executions = int(snap["executions"])
+        strategy._steps_estimate = int(snap["steps_estimate"])
+        _rng_state_from_json(strategy._rng, snap["rng"])
+        return strategy
+
+
+def _rng_state_to_json(rng: random.Random) -> list:
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def _rng_state_from_json(rng: random.Random, state: list) -> None:
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))
+
+
+#: Snapshot ``type`` tag -> strategy class, for checkpoint restoration.
+_SNAPSHOT_TYPES = {
+    "dfs": DFSStrategy,
+    "iterative": IterativeDFSStrategy,
+    "random": RandomStrategy,
+    "pct": PCTStrategy,
+}
+
+
+def strategy_from_snapshot(snap: dict) -> SchedulingStrategy:
+    """Rebuild a strategy from a :meth:`snapshot` dict (checkpoint resume)."""
+    try:
+        cls = _SNAPSHOT_TYPES[snap["type"]]
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"unknown strategy snapshot: {snap!r:.80}") from exc
+    return cls.from_snapshot(snap)

@@ -88,14 +88,18 @@ class TestCommands:
         assert "minimal failing dimension" in capsys.readouterr().out
 
     def test_check_unknown_class(self, capsys):
-        assert main(["check", "NoSuchClass", "--test", "X"]) == 2
+        assert main(["check", "NoSuchClass", "--test", "X"]) == 64
         assert "error" in capsys.readouterr().err
 
     def test_check_missing_test(self, capsys):
-        assert main(["check", "ConcurrentQueue"]) == 2
+        assert main(["check", "ConcurrentQueue"]) == 64
 
     def test_check_unknown_cause(self, capsys):
-        assert main(["check", "ConcurrentQueue", "--cause", "Z"]) == 2
+        assert main(["check", "ConcurrentQueue", "--cause", "Z"]) == 64
+
+    def test_bad_flag_is_usage_error(self, capsys):
+        assert main(["check", "ConcurrentQueue", "--no-such-flag"]) == 64
+        assert "error" in capsys.readouterr().err
 
     def test_observations_to_stdout(self, capsys):
         code = main(

@@ -1,0 +1,182 @@
+"""Fault injection: hostile subjects must yield verdicts, never hangs.
+
+The checker treats the implementation under test as a black box, so a
+robust checker must survive the worst black boxes: operations that spin
+forever without reaching a scheduling point, sleep past any deadline in
+uninterruptible C calls, raise ``BaseException`` subclasses, or livelock
+through the instrumented primitives.  Each case must end in a
+deterministic verdict in bounded time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import (
+    CheckConfig,
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    check,
+    render_check_result,
+)
+
+WATCHED = CheckConfig(watchdog_seconds=0.2, max_concurrent_executions=50)
+
+
+class SpinningSubject:
+    """``poke`` spins forever without ever reaching a scheduling point."""
+
+    def __init__(self, rt):
+        self._rt = rt
+
+    def poke(self):
+        x = 0
+        while True:
+            x += 1
+
+    def ping(self):
+        return "pong"
+
+
+class SleepingSubject:
+    """``nap`` blocks in an uninterruptible C call far past any deadline."""
+
+    def __init__(self, rt):
+        self._rt = rt
+
+    def nap(self):
+        time.sleep(30)
+
+    def ping(self):
+        return "pong"
+
+
+class RaisingSubject:
+    """Operations that raise BaseException subclasses as their 'result'."""
+
+    def __init__(self, rt):
+        self._rt = rt
+
+    def interrupt(self):
+        raise KeyboardInterrupt("hostile")
+
+    def bail(self):
+        raise SystemExit(3)
+
+    def ping(self):
+        return "pong"
+
+
+class LivelockSubject:
+    """``churn`` spins through the instrumented yield point forever."""
+
+    def __init__(self, rt):
+        self._rt = rt
+        self._cell = rt.volatile(0)
+
+    def churn(self):
+        while True:
+            self._cell.set(self._cell.get() + 1)
+
+    def ping(self):
+        return "pong"
+
+
+class TestDivergentOperations:
+    def test_spinning_op_yields_verdict_quickly(self):
+        """Acceptance: a spinning SUT produces a divergent result < 5s."""
+        t0 = time.monotonic()
+        result = check(
+            SystemUnderTest(SpinningSubject, "spin"),
+            FiniteTest.of([[Invocation("poke")]]),
+            WATCHED,
+        )
+        elapsed = time.monotonic() - t0
+        assert elapsed < 5.0
+        assert result.verdict in ("PASS", "FAIL")  # a verdict, not a hang
+        assert result.phase1.divergent >= 1
+        assert result.phase1.stuck_histories >= 1
+
+    def test_sleeping_op_yields_verdict_quickly(self):
+        t0 = time.monotonic()
+        result = check(
+            SystemUnderTest(SleepingSubject, "sleep"),
+            FiniteTest.of([[Invocation("nap")]]),
+            WATCHED,
+        )
+        assert time.monotonic() - t0 < 10.0
+        assert result.phase1.divergent >= 1
+
+    def test_divergence_beside_healthy_thread(self):
+        result = check(
+            SystemUnderTest(SpinningSubject, "spin"),
+            FiniteTest.of([[Invocation("poke")], [Invocation("ping")]]),
+            WATCHED,
+        )
+        assert result.phase1.divergent >= 1
+        # The healthy thread's response is still observed in the histories.
+        assert result.observations is not None
+        assert len(result.observations) >= 1
+
+    def test_divergence_is_deterministic(self):
+        test = FiniteTest.of([[Invocation("poke")], [Invocation("ping")]])
+        first = check(SystemUnderTest(SpinningSubject, "spin"), test, WATCHED)
+        second = check(SystemUnderTest(SpinningSubject, "spin"), test, WATCHED)
+        assert first.verdict == second.verdict
+        assert first.phase1.histories == second.phase1.histories
+        assert first.phase1.stuck_histories == second.phase1.stuck_histories
+
+    def test_divergent_counts_reported(self):
+        result = check(
+            SystemUnderTest(SpinningSubject, "spin"),
+            FiniteTest.of([[Invocation("poke")]]),
+            WATCHED,
+        )
+        assert "divergent" in render_check_result(result)
+
+
+class TestHostileExceptions:
+    def test_keyboard_interrupt_becomes_a_response(self, scheduler):
+        result = check(
+            SystemUnderTest(RaisingSubject, "raise"),
+            FiniteTest.of([[Invocation("interrupt")], [Invocation("ping")]]),
+            scheduler=scheduler,
+        )
+        assert result.passed  # deterministic behaviour, not a checker crash
+
+    def test_system_exit_becomes_a_response(self, scheduler):
+        result = check(
+            SystemUnderTest(RaisingSubject, "raise"),
+            FiniteTest.of([[Invocation("bail")], [Invocation("ping")]]),
+            scheduler=scheduler,
+        )
+        assert result.passed
+
+    def test_raised_response_recorded_in_history(self, scheduler):
+        result = check(
+            SystemUnderTest(RaisingSubject, "raise"),
+            FiniteTest.of([[Invocation("interrupt")]]),
+            scheduler=scheduler,
+        )
+        assert result.observations is not None
+        histories = result.observations.full
+        assert histories
+        response = histories[0].steps[0].response
+        assert response.kind == "raised"
+
+
+class TestLivelock:
+    def test_livelock_through_scheduling_points_is_stuck(self):
+        cfg = CheckConfig(max_steps=300, max_concurrent_executions=20)
+        t0 = time.monotonic()
+        result = check(
+            SystemUnderTest(LivelockSubject, "livelock"),
+            FiniteTest.of([[Invocation("churn")]]),
+            cfg,
+        )
+        assert time.monotonic() - t0 < 30.0
+        assert result.verdict in ("PASS", "FAIL")
+        assert result.phase1.stuck_histories >= 1

@@ -1,0 +1,222 @@
+"""Watchdog: divergent executions, worker abandonment, bounded teardown.
+
+Fault-injection at the scheduler level: bodies that spin without ever
+reaching a scheduling point, block in uninterruptible C calls, or swallow
+the teardown abort.  The resilient scheduler must convert every one of
+them into a deterministic ``divergent`` outcome in bounded time and keep
+its worker pool usable for the next execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    DFSStrategy,
+    ExecutionAbort,
+    Scheduler,
+    WatchdogConfig,
+    interrupt_thread,
+)
+
+FAST = WatchdogConfig(time_limit=0.2, poll_interval=0.02, abandon_timeout=0.3)
+
+
+@pytest.fixture()
+def watched():
+    sched = Scheduler(watchdog=FAST, abort_timeout=1.0)
+    yield sched
+    sched.shutdown()
+
+
+class TestWatchdogConfig:
+    def test_defaults_are_sane(self):
+        cfg = WatchdogConfig()
+        assert cfg.time_limit > 0
+        assert cfg.poll_interval > 0
+        assert cfg.abandon_timeout > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"time_limit": 0},
+            {"time_limit": -1.0},
+            {"poll_interval": 0},
+            {"abandon_timeout": -0.1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+    def test_scheduler_accepts_bare_seconds(self):
+        sched = Scheduler(watchdog=0.5)
+        try:
+            assert sched.watchdog is not None
+            assert sched.watchdog.time_limit == 0.5
+        finally:
+            sched.shutdown()
+
+    def test_scheduler_watchdog_disabled_by_default(self):
+        sched = Scheduler()
+        try:
+            assert sched.watchdog is None
+        finally:
+            sched.shutdown()
+
+
+class TestInterruptThread:
+    def test_dead_thread_returns_false(self):
+        t = threading.Thread(target=lambda: None)
+        t.start()
+        t.join()
+        assert interrupt_thread(t) is False
+
+    def test_injects_into_running_thread(self):
+        caught = []
+        ready = threading.Event()
+
+        def spin():
+            ready.set()
+            try:
+                while True:
+                    pass
+            except ExecutionAbort:
+                caught.append(True)
+
+        t = threading.Thread(target=spin, daemon=True)
+        t.start()
+        ready.wait(timeout=5.0)
+        assert interrupt_thread(t) is True
+        t.join(timeout=5.0)
+        assert caught == [True]
+
+
+class TestDivergentExecutions:
+    def test_spinning_body_becomes_divergent(self, watched):
+        """Acceptance: a spinning SUT produces a divergent result quickly."""
+
+        def spin():
+            x = 0
+            while True:  # never reaches a scheduling point
+                x += 1
+
+        t0 = time.monotonic()
+        outcome = watched.execute([spin], DFSStrategy())
+        elapsed = time.monotonic() - t0
+        assert outcome.status == "divergent"
+        assert outcome.divergent
+        assert elapsed < 5.0
+
+    def test_divergent_records_pending_threads(self, watched):
+        def spin():
+            while True:
+                pass
+
+        outcome = watched.execute([lambda: None, spin], DFSStrategy())
+        assert outcome.status == "divergent"
+        assert 1 in outcome.pending_threads
+
+    def test_sleeping_body_becomes_divergent(self, watched):
+        """A blocking C call cannot be interrupted: the worker is abandoned."""
+        t0 = time.monotonic()
+        outcome = watched.execute([lambda: time.sleep(30)], DFSStrategy())
+        elapsed = time.monotonic() - t0
+        assert outcome.status == "divergent"
+        assert elapsed < 5.0
+
+    def test_abort_swallowing_spinner_becomes_divergent(self, watched):
+        def stubborn():
+            while True:
+                try:
+                    time.sleep(0.01)
+                except BaseException:
+                    pass  # swallows the injected abort, keeps going
+
+        t0 = time.monotonic()
+        outcome = watched.execute([stubborn], DFSStrategy())
+        assert outcome.status == "divergent"
+        assert time.monotonic() - t0 < 5.0
+
+    def test_scheduler_reusable_after_divergence(self, watched):
+        outcome = watched.execute([lambda: time.sleep(30)], DFSStrategy())
+        assert outcome.status == "divergent"
+        ran = []
+        for i in range(3):
+            ok = watched.execute(
+                [lambda i=i: ran.append(i), lambda: None], DFSStrategy()
+            )
+            assert ok.status == "complete"
+        assert ran == [0, 1, 2]
+
+    def test_well_behaved_bodies_unaffected_by_watchdog(self, watched):
+        ran = []
+        outcome = watched.execute(
+            [lambda: ran.append(0), lambda: ran.append(1)], DFSStrategy()
+        )
+        assert outcome.status == "complete"
+        assert not outcome.divergent
+        assert sorted(ran) == [0, 1]
+
+    def test_slow_but_progressing_body_not_flagged(self, watched):
+        """Progress between scheduling points resets the watchdog clock."""
+        sched = watched
+
+        def slow():
+            for _ in range(6):
+                time.sleep(0.1)  # each sleep < time_limit
+                sched.schedule_point()
+
+        outcome = sched.execute([slow], DFSStrategy())
+        assert outcome.status == "complete"
+
+
+class TestBoundedTeardown:
+    """Regression tests for the stuck-abort path (bounded ack waits)."""
+
+    def test_stuck_teardown_survives_abort_swallowing_worker(self):
+        sched = Scheduler(abort_timeout=0.3)
+        try:
+            def hostile():
+                try:
+                    sched.block_until(lambda: False)
+                except BaseException:
+                    time.sleep(30)  # never acks the abort in time
+
+            t0 = time.monotonic()
+            outcome = sched.execute([hostile, lambda: None], DFSStrategy())
+            elapsed = time.monotonic() - t0
+            assert outcome.status == "stuck"
+            assert elapsed < 5.0  # bounded by abort_timeout, not the sleep
+            # The pool was repaired: the next execution is unaffected.
+            ok = sched.execute([lambda: None], DFSStrategy())
+            assert ok.status == "complete"
+        finally:
+            sched.shutdown()
+
+    def test_clean_stuck_teardown_still_works(self, scheduler):
+        outcome = scheduler.execute(
+            [lambda: scheduler.block_until(lambda: False), lambda: None],
+            DFSStrategy(),
+        )
+        assert outcome.status == "stuck"
+        assert outcome.stuck_kind == "deadlock"
+
+    def test_exploration_continues_past_divergence(self, watched):
+        """Divergent executions are outcomes, not exploration aborts."""
+        calls = {"n": 0}
+
+        def factory():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return [lambda: time.sleep(30), lambda: None]
+            return [lambda: None, lambda: None]
+
+        outcomes = list(
+            watched.explore(factory, DFSStrategy(), max_executions=3)
+        )
+        assert outcomes[0].status == "divergent"
+        assert any(o.status == "complete" for o in outcomes[1:])
