@@ -25,8 +25,14 @@ statistics), ``--checkpoint PATH`` periodically persists the exploration
 frontier, and SIGINT/SIGTERM trigger a graceful shutdown that flushes the
 checkpoint and prints the partial report.
 
+``campaign --isolate`` runs each test in a sandboxed worker process
+(see :mod:`repro.exec`): a hostile subject can kill its worker, never the
+campaign — the test is retried and eventually quarantined with a
+``CRASHED`` verdict and a crash-report artifact.
+
 Exit status: 0 = PASS, 1 = violation found, 2 = exploration budget
-exhausted, 64 = usage error, 130 = interrupted (SIGINT/SIGTERM).
+exhausted, 64 = usage error, 70 = every test crashed (isolated
+campaigns), 130 = interrupted (SIGINT/SIGTERM).
 """
 
 from __future__ import annotations
@@ -77,6 +83,10 @@ EXIT_PASS = 0
 EXIT_FAIL = 1
 EXIT_EXHAUSTED = 2
 EXIT_USAGE = 64
+#: Every test of an isolated campaign crashed its worker and was
+#: quarantined — no verdict at all was obtained, which almost always
+#: means an environment problem rather than a concurrency bug.
+EXIT_ALLCRASHED = 70
 EXIT_INTERRUPTED = 130
 
 
@@ -209,6 +219,58 @@ def _config_from_args(args: argparse.Namespace) -> CheckConfig:
     )
 
 
+def _provider_get_class(provider: str | None):
+    """Resolve the class lookup of a provider module (default registry).
+
+    A provider is any importable module exposing ``get_class(name)`` —
+    the same indirection sandboxed workers use to find subjects by name,
+    so crash-report repro commands (which carry ``--provider``) resolve
+    the exact class the worker ran.
+    """
+    if not provider:
+        return get_class
+    import importlib
+
+    try:
+        module = importlib.import_module(provider)
+    except ImportError as exc:
+        raise CliError(f"cannot import provider module {provider!r}: {exc}")
+    resolver = getattr(module, "get_class", None)
+    if resolver is None:
+        raise CliError(f"provider module {provider!r} has no get_class()")
+    return resolver
+
+
+def _add_isolation_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--isolate", action="store_true",
+        help="run each test in a sandboxed worker process; a test that "
+             "kills its worker is retried and then quarantined (verdict "
+             "CRASHED) instead of aborting the campaign",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for --isolate (default: 2)",
+    )
+    parser.add_argument(
+        "--mem-limit-mb", type=int, metavar="MB",
+        help="RLIMIT_AS cap per worker, in MiB (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="crash retries before a test is quarantined (default: 2)",
+    )
+    parser.add_argument(
+        "--start-method", choices=("spawn", "forkserver"), default="spawn",
+        help="multiprocessing start method for workers (default: spawn)",
+    )
+    parser.add_argument(
+        "--report-dir", metavar="DIR",
+        help="directory for crash reports and worker stderr files "
+             "(default: a fresh temporary directory)",
+    )
+
+
 def _add_robustness_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--deadline", type=float, metavar="SECONDS",
@@ -248,6 +310,15 @@ def _add_check_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-executions", type=int, default=20_000, metavar="N",
         help="phase-2 execution cap (default: 20000)",
+    )
+    _add_provider_option(parser)
+
+
+def _add_provider_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--provider", metavar="MODULE",
+        help="module exposing get_class(NAME) to resolve CLASS (default: "
+             "the Table 1 registry); crash-report repro commands use this",
     )
 
 
@@ -315,7 +386,7 @@ def _run_check(
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    entry = get_class(args.cls)
+    entry = _provider_get_class(args.provider)(args.cls)
     test = _resolve_test(args, entry)
     subject = SystemUnderTest(
         entry.factory(args.version), f"{entry.name}({args.version})"
@@ -360,10 +431,19 @@ def cmd_check(args: argparse.Namespace) -> int:
 def _campaign_state(
     plan: "list[tuple[str, str]]",
     rows: list,
-    current: "tuple[str, str, list] | None",
+    current: "tuple[str, str, object] | None",
     params: dict,
     control: ExplorationControl,
+    retries: "dict[int, int] | None" = None,
 ) -> dict:
+    """Build the campaign checkpoint document.
+
+    The in-progress class's summaries are a *list* for in-process
+    campaigns (tests finish in order; the list length is the resume
+    point) and an index-keyed *dict* for isolated ones (workers finish
+    out of order); *retries* persists the latter's crash-retry counters
+    so a resumed test does not get a fresh retry allowance.
+    """
     state: dict = {
         "kind": "campaign",
         "plan": [list(item) for item in plan],
@@ -374,11 +454,22 @@ def _campaign_state(
     }
     if current is not None:
         name, version, summaries = current
+        if isinstance(summaries, dict):
+            payload: object = {
+                str(index): summary.to_dict()
+                for index, summary in sorted(summaries.items())
+            }
+        else:
+            payload = [summary.to_dict() for summary in summaries]
         state["current"] = {
             "cls": name,
             "version": version,
-            "summaries": [summary.to_dict() for summary in summaries],
+            "summaries": payload,
         }
+        if retries:
+            state["current"]["retries"] = {
+                str(index): count for index, count in sorted(retries.items())
+            }
     return state
 
 
@@ -500,12 +591,199 @@ def _run_campaign_plan(
     return EXIT_PASS
 
 
+def _campaign_exit_code(rows: list, stop_reason: str | None) -> int:
+    if stop_reason == "interrupted":
+        return EXIT_INTERRUPTED
+    tests_run = sum(row.tests_run for row in rows)
+    crashed = sum(row.tests_crashed for row in rows)
+    if tests_run and crashed == tests_run:
+        return EXIT_ALLCRASHED
+    failed = any(row.tests_failed > 0 or bool(row.causes_found) for row in rows)
+    if failed:
+        return EXIT_FAIL
+    if stop_reason is not None:
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
+
+
+def _print_quarantine_summary(rows: list, quarantined: "list[str]") -> None:
+    crashed = sum(row.tests_crashed for row in rows)
+    nondet = sum(row.tests_nondet for row in rows)
+    if crashed or quarantined:
+        print()
+        print(
+            f"{crashed} test(s) quarantined after repeated worker crashes; "
+            "crash reports:"
+        )
+        for path in quarantined:
+            print(f"  {path}")
+    if nondet:
+        print()
+        print(
+            f"{nondet} test(s) reported nondeterministic-verdict: re-runs "
+            "of a FAIL disagreed (the failing worker had previously "
+            "crashed, so the verdict is suspect) — inspect manually"
+        )
+
+
+def _run_campaign_plan_isolated(
+    plan: "list[tuple[str, str]]",
+    params: dict,
+    checkpoint: str | None,
+    finished_rows: list,
+    resume_current: "tuple[str, str, dict, dict] | None" = None,
+    budget_snapshot: dict | None = None,
+) -> int:
+    """The ``--isolate`` variant of :func:`_run_campaign_plan`.
+
+    Same plan/checkpoint/resume contract, but each test runs in a
+    sandboxed worker (see :mod:`repro.exec`); *resume_current* carries
+    (cls, version, summaries-by-index, retries-by-index).  The curated
+    root-cause validation of the in-process path is skipped: it would run
+    the subject in this very process, which is what --isolate exists to
+    avoid.
+    """
+    from repro.core.campaign import (
+        run_class_campaign_isolated,
+        summary_from_outcome,
+    )
+    from repro.exec import PoolConfig, ResourceLimits, WorkerPool
+
+    deadline = params.get("deadline")
+    budget = (
+        ExplorationBudget(deadline_seconds=deadline) if deadline else None
+    )
+    config = CheckConfig(
+        phase2_strategy="random",
+        phase2_executions=params["schedules"],
+        seed=params["seed"],
+        max_serial_executions=2000,
+        budget=budget,
+        watchdog_seconds=params.get("watchdog"),
+    )
+    provider = params.get("provider")
+    resolve = _provider_get_class(provider)
+    pool_config = PoolConfig(
+        workers=params.get("workers") or 2,
+        start_method=params.get("start_method") or "spawn",
+        limits=ResourceLimits(mem_limit_mb=params.get("mem_limit_mb")),
+        max_retries=params.get("max_retries", 2),
+        report_dir=params.get("report_dir"),
+    )
+    stopper = _SignalStop().install()
+    control = ExplorationControl(budget=budget, stop=stopper)
+    if budget_snapshot is not None:
+        control.meter = BudgetMeter.from_snapshot(budget_snapshot)
+    control.start()
+    checkpointer = Checkpointer(checkpoint) if checkpoint else None
+    rows = list(finished_rows)
+    done = {(row.class_name, row.version) for row in rows}
+    stop_reason: str | None = None
+    quarantined: list[str] = []
+    try:
+        with WorkerPool(pool_config) as pool:
+            print(f"worker reports in {pool.report_dir}")
+            for name, version in plan:
+                if (name, version) in done:
+                    continue
+                entry = resolve(name)
+                completed: dict = {}
+                prior_retries: dict = {}
+                if resume_current is not None:
+                    prior_cls, prior_version, summaries, retries = resume_current
+                    resume_current = None  # first pending entry only
+                    if (prior_cls, prior_version) == (name, version):
+                        completed = dict(summaries)
+                        prior_retries = dict(retries)
+                latest = {
+                    "summaries": dict(completed),
+                    "retries": dict(prior_retries),
+                }
+
+                def on_outcome(
+                    outcome, retry_map,
+                    _name=name, _version=version, _latest=latest,
+                ):
+                    _latest["summaries"][outcome.index] = summary_from_outcome(
+                        outcome
+                    )
+                    _latest["retries"] = dict(retry_map)
+                    if checkpointer is not None:
+                        checkpointer.tick(
+                            lambda: _campaign_state(
+                                plan, rows,
+                                (_name, _version, _latest["summaries"]),
+                                params, control,
+                                retries=_latest["retries"],
+                            )
+                        )
+
+                row, summaries = run_class_campaign_isolated(
+                    entry,
+                    version,
+                    samples=params["samples"],
+                    rows=params["rows"],
+                    cols=params["cols"],
+                    seed=params["seed"],
+                    config=config,
+                    pool=pool,
+                    provider=provider,
+                    control=control,
+                    completed=completed,
+                    prior_retries=prior_retries,
+                    on_outcome=on_outcome,
+                )
+                quarantined.extend(
+                    summary.crash_report
+                    for _, summary in sorted(summaries.items())
+                    if summary.crash_report
+                )
+                if row.stop_reason is not None:
+                    stop_reason = row.stop_reason
+                    if checkpointer is not None:
+                        checkpointer.save(
+                            _campaign_state(
+                                plan, rows,
+                                (name, version, latest["summaries"]),
+                                params, control,
+                                retries=latest["retries"],
+                            )
+                        )
+                    break
+                rows.append(row)
+                done.add((name, version))
+                if checkpointer is not None:
+                    checkpointer.save(
+                        _campaign_state(plan, rows, None, params, control)
+                    )
+    finally:
+        stopper.uninstall()
+    print(render_table2(rows))
+    _print_quarantine_summary(rows, quarantined)
+    if stop_reason is not None:
+        what = (
+            "interrupted"
+            if stop_reason == "interrupted"
+            else f"budget exhausted ({stop_reason})"
+        )
+        print()
+        print(f"campaign {what}; the table above is partial")
+        if checkpoint:
+            print(f"state saved; continue with: python -m repro resume {checkpoint}")
+    return _campaign_exit_code(rows, stop_reason)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
-    entries = REGISTRY if args.cls == "all" else (get_class(args.cls),)
+    resolve = _provider_get_class(args.provider)
+    entries = REGISTRY if args.cls == "all" else (resolve(args.cls),)
     versions = args.versions.split(",")
     plan = [(entry.name, version) for entry in entries for version in versions]
     if args.deadline is not None and args.deadline <= 0:
         raise CliError("--deadline must be a positive number of seconds")
+    if args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    if args.max_retries < 0:
+        raise CliError("--max-retries must be >= 0")
     params = {
         "samples": args.samples,
         "rows": args.rows,
@@ -514,7 +792,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "deadline": args.deadline,
         "watchdog": args.watchdog,
+        "isolate": args.isolate,
+        "workers": args.workers,
+        "mem_limit_mb": args.mem_limit_mb,
+        "max_retries": args.max_retries,
+        "start_method": args.start_method,
+        "report_dir": args.report_dir,
+        "provider": args.provider,
     }
+    if args.isolate:
+        return _run_campaign_plan_isolated(plan, params, args.checkpoint, [])
     return _run_campaign_plan(plan, params, args.checkpoint, [])
 
 
@@ -545,17 +832,37 @@ def cmd_resume(args: argparse.Namespace) -> int:
             raise CliError("campaign checkpoint has an empty plan")
         rows = [row_from_dict(data) for data in document.get("finished_rows", [])]
         current = document.get("current")
-        resume_current = None
-        if current:
-            resume_current = (
-                current["cls"],
-                current["version"],
-                [TestSummary.from_dict(s) for s in current.get("summaries", [])],
-            )
         params = document.get("params") or {}
         for key in ("samples", "rows", "cols", "schedules", "seed"):
             if key not in params:
                 raise CliError(f"campaign checkpoint lacks parameter {key!r}")
+        isolated = bool(params.get("isolate"))
+        resume_current = None
+        if current:
+            saved = current.get("summaries", [])
+            if isolated:
+                # Isolated campaigns checkpoint summaries by test index
+                # (out-of-order completion) plus crash-retry counters.
+                by_index = {
+                    int(index): TestSummary.from_dict(data)
+                    for index, data in (
+                        saved.items() if isinstance(saved, dict)
+                        else enumerate(saved)
+                    )
+                }
+                retries = {
+                    int(index): int(count)
+                    for index, count in (current.get("retries") or {}).items()
+                }
+                resume_current = (
+                    current["cls"], current["version"], by_index, retries
+                )
+            else:
+                resume_current = (
+                    current["cls"],
+                    current["version"],
+                    [TestSummary.from_dict(s) for s in saved],
+                )
         budget_snapshot = document.get("budget")
         if args.deadline is not None:
             params = {**params, "deadline": args.deadline}
@@ -564,6 +871,15 @@ def cmd_resume(args: argparse.Namespace) -> int:
             f"Resuming campaign from {args.checkpoint} "
             f"({len(rows)}/{len(plan)} rows finished)"
         )
+        if isolated:
+            return _run_campaign_plan_isolated(
+                plan,
+                params,
+                args.checkpoint,
+                rows,
+                resume_current=resume_current,
+                budget_snapshot=budget_snapshot,
+            )
         return _run_campaign_plan(
             plan,
             params,
@@ -614,7 +930,7 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
 
 def cmd_observations(args: argparse.Namespace) -> int:
-    entry = get_class(args.cls)
+    entry = _provider_get_class(getattr(args, "provider", None))(args.cls)
     test = _resolve_test(args, entry)
     subject = SystemUnderTest(
         entry.factory(args.version), f"{entry.name}({args.version})"
@@ -666,7 +982,8 @@ class _ArgumentParser(argparse.ArgumentParser):
 
 _EXIT_CODE_HELP = (
     "exit status: 0 = PASS, 1 = violation found, 2 = exploration budget "
-    "exhausted, 64 = usage error, 130 = interrupted (SIGINT/SIGTERM)"
+    "exhausted, 64 = usage error, 70 = every test crashed (isolated "
+    "campaigns), 130 = interrupted (SIGINT/SIGTERM)"
 )
 
 
@@ -723,6 +1040,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--cols", type=int, default=3)
     p_campaign.add_argument("--schedules", type=int, default=150)
     p_campaign.add_argument("--seed", type=int, default=0)
+    _add_provider_option(p_campaign)
+    _add_isolation_options(p_campaign)
     _add_robustness_options(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
@@ -751,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--cause", metavar="TAG")
     p_obs.add_argument("--version", choices=("pre", "beta"), default="beta")
     p_obs.add_argument("-o", "--output", metavar="FILE")
+    _add_provider_option(p_obs)
     p_obs.set_defaults(func=cmd_observations)
 
     p_repro = sub.add_parser(

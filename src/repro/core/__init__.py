@@ -30,12 +30,14 @@ from repro.core.checkpoint import (
     save_checkpoint,
 )
 from repro.core.checker import (
+    VERDICT_PRECEDENCE,
     CheckConfig,
     CheckResult,
     Violation,
     check,
     check_against_observations,
     check_with_harness,
+    worst_verdict,
 )
 from repro.core.events import Event, Invocation, Operation, Response
 from repro.core.harness import HarnessError, SystemUnderTest, TestHarness
@@ -92,6 +94,7 @@ __all__ = [
     "SerialStep",
     "SystemUnderTest",
     "TestHarness",
+    "VERDICT_PRECEDENCE",
     "Violation",
     "atomic_write_text",
     "auto_check",
@@ -116,4 +119,5 @@ __all__ = [
     "sample_tests",
     "save_checkpoint",
     "save_observations",
+    "worst_verdict",
 ]

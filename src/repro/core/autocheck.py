@@ -23,7 +23,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from repro.core.budget import ExplorationControl
-from repro.core.checker import CheckConfig, CheckResult, check_with_harness
+from repro.core.checker import (
+    CheckConfig,
+    CheckResult,
+    check_with_harness,
+    worst_verdict,
+)
 from repro.core.events import Invocation
 from repro.core.harness import SystemUnderTest, TestHarness
 from repro.core.testcase import FiniteTest, enumerate_tests, sample_tests
@@ -39,11 +44,19 @@ __all__ = [
 
 @dataclass
 class CampaignResult:
-    """Aggregate outcome of a multi-test campaign (Auto/RandomCheck)."""
+    """Aggregate outcome of a multi-test campaign (Auto/RandomCheck).
 
-    verdict: str  #: "FAIL" as soon as any test fails, else "PASS"
+    ``verdict`` follows :data:`repro.core.checker.VERDICT_PRECEDENCE`:
+    "FAIL" as soon as any test fails; "CRASHED" when tests were
+    quarantined (isolated campaigns) but none failed; else "PASS".
+    """
+
+    verdict: str
     tests_run: int = 0
     tests_failed: int = 0
+    #: tests quarantined after repeatedly crashing their sandboxed worker
+    #: (only isolated campaigns — see :mod:`repro.exec` — produce these).
+    tests_crashed: int = 0
     failures: list[CheckResult] = field(default_factory=list)
     results: list[CheckResult] = field(default_factory=list)
     #: why the campaign stopped early ("deadline", "executions",
@@ -57,6 +70,21 @@ class CampaignResult:
     @property
     def first_failure(self) -> CheckResult | None:
         return self.failures[0] if self.failures else None
+
+    @classmethod
+    def from_outcomes(cls, outcomes, stop_reason: str | None = None) -> "CampaignResult":
+        """Aggregate worker-pool :class:`~repro.exec.TaskOutcome` objects."""
+        campaign = cls(
+            verdict=worst_verdict(o.verdict for o in outcomes),
+            stop_reason=stop_reason,
+        )
+        for outcome in outcomes:
+            campaign.tests_run += 1
+            if outcome.verdict == "FAIL":
+                campaign.tests_failed += 1
+            elif outcome.verdict == "CRASHED":
+                campaign.tests_crashed += 1
+        return campaign
 
 
 def _run_campaign(

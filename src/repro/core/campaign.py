@@ -18,7 +18,7 @@ minimal witness tests, which :func:`verify_causes` re-validates).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.core.budget import ExplorationControl
@@ -37,6 +37,8 @@ __all__ = [
     "row_from_summaries",
     "row_to_dict",
     "run_class_campaign",
+    "run_class_campaign_isolated",
+    "summary_from_outcome",
     "verify_causes",
 ]
 
@@ -57,6 +59,11 @@ class TestSummary:
     phase1_seconds: float
     total_seconds: float
     exhausted_reason: str | None = None
+    #: check attempts consumed (> 1 when crash retries or flaky-verdict
+    #: re-runs happened; see :mod:`repro.exec.supervisor`).
+    attempts: int = 1
+    #: path of the crash-report artifact for a quarantined (CRASHED) test.
+    crash_report: str | None = None
 
     @classmethod
     def from_result(cls, result: CheckResult) -> "TestSummary":
@@ -77,6 +84,8 @@ class TestSummary:
             "phase1_seconds": self.phase1_seconds,
             "total_seconds": self.total_seconds,
             "exhausted_reason": self.exhausted_reason,
+            "attempts": self.attempts,
+            "crash_report": self.crash_report,
         }
 
     @classmethod
@@ -88,6 +97,8 @@ class TestSummary:
             phase1_seconds=float(data["phase1_seconds"]),
             total_seconds=float(data["total_seconds"]),
             exhausted_reason=data.get("exhausted_reason"),
+            attempts=int(data.get("attempts", 1)),
+            crash_report=data.get("crash_report"),
         )
 
 
@@ -111,6 +122,11 @@ class CampaignRow:
     pass_avg_s: float = 0.0
     preemption_bound: int | None = 2
     stuck_tests: int = 0  #: tests whose phase 1 saw stuck serial histories
+    #: tests quarantined after repeatedly crashing their worker (verdict
+    #: CRASHED; isolated campaigns only — see :mod:`repro.exec`).
+    tests_crashed: int = 0
+    #: tests whose FAIL/PASS re-runs disagreed (nondeterministic-verdict).
+    tests_nondet: int = 0
     #: why the campaign stopped early ("deadline", "executions",
     #: "decisions", "interrupted"), or None when it ran to completion.
     stop_reason: str | None = None
@@ -161,6 +177,10 @@ def row_from_summaries(
         if summary.verdict == "FAIL":
             row.tests_failed += 1
             fail_times.append(summary.total_seconds)
+        elif summary.verdict == "CRASHED":
+            row.tests_crashed += 1
+        elif summary.verdict == "nondeterministic-verdict":
+            row.tests_nondet += 1
         else:
             row.tests_passed += 1
             pass_times.append(summary.total_seconds)
@@ -234,6 +254,113 @@ def run_class_campaign(
     return row, results
 
 
+def summary_from_outcome(outcome) -> TestSummary:
+    """Convert a worker-pool :class:`~repro.exec.TaskOutcome` to a summary.
+
+    Quarantined tests never produced statistics, so their summary is all
+    zeros apart from the verdict and the crash-report pointer; completed
+    tests reuse the worker's serialized summary with the *settled* verdict
+    (which may differ from the decisive attempt's own — the flaky-verdict
+    guard can settle on ``nondeterministic-verdict``).
+    """
+    attempts = max(1, len(outcome.verdicts) + len(outcome.crashes))
+    if outcome.summary is None:
+        return TestSummary(
+            verdict=outcome.verdict,
+            histories=0,
+            stuck_histories=0,
+            phase1_seconds=0.0,
+            total_seconds=0.0,
+            attempts=attempts,
+            crash_report=outcome.crash_report,
+        )
+    summary = TestSummary.from_dict(outcome.summary)
+    return replace(
+        summary,
+        verdict=outcome.verdict,
+        attempts=attempts,
+        crash_report=outcome.crash_report,
+    )
+
+
+def run_class_campaign_isolated(
+    entry: ClassUnderTest,
+    version: str,
+    samples: int = 20,
+    rows: int = 3,
+    cols: int = 3,
+    seed: int = 0,
+    config: CheckConfig | None = None,
+    *,
+    pool,
+    provider: str | None = None,
+    control: ExplorationControl | None = None,
+    completed: "dict[int, TestSummary] | None" = None,
+    prior_retries: "dict[int, int] | None" = None,
+    on_outcome: "Callable[[object, dict[int, int]], None] | None" = None,
+) -> tuple[CampaignRow, dict[int, TestSummary]]:
+    """The campaign of :func:`run_class_campaign`, fanned across a pool.
+
+    Each test runs as one task in *pool* (a :class:`repro.exec.WorkerPool`)
+    inside a sandboxed child process, so a test that kills its process is
+    quarantined with a ``CRASHED`` verdict instead of ending the campaign.
+    The test list is the same deterministic sample as the in-process
+    campaign; *completed* maps test index → summary for tests finished
+    before a resume (outcomes complete out of order, so resume state is
+    keyed by index, not a prefix count), and *prior_retries* restores
+    their crash-retry counters.  *on_outcome* is the checkpoint hook,
+    called with each raw outcome and the pool's retry-counter map.
+
+    Returns the aggregated row plus the per-index summary map.
+    """
+    from repro.core.checkpoint import config_to_dict, test_to_dict
+    from repro.exec import TaskSpec
+
+    cfg = config or CheckConfig()
+    if control is None and cfg.budget is not None:
+        control = ExplorationControl(budget=cfg.budget)
+    tests = list(
+        sample_tests(
+            list(entry.invocations), rows, cols, samples, seed=seed,
+            init=entry.init,
+        )
+    )
+    summaries: dict[int, TestSummary] = dict(completed or {})
+    config_data = config_to_dict(cfg)
+    specs = [
+        TaskSpec(
+            index=index,
+            class_name=entry.name,
+            version=version,
+            test=test_to_dict(test),
+            config=config_data,
+            provider=provider,
+        )
+        for index, test in enumerate(tests)
+        if index not in summaries
+    ]
+    stop_reason: str | None = None
+    if specs:
+        outcomes, stop_reason = pool.run(
+            specs,
+            prior_retries=prior_retries,
+            control=control,
+            on_outcome=on_outcome,
+        )
+        for outcome in outcomes:
+            summaries[outcome.index] = summary_from_outcome(outcome)
+    row = row_from_summaries(
+        entry,
+        version,
+        [summaries[index] for index in sorted(summaries)],
+        cfg,
+    )
+    if stop_reason is None and len(summaries) < len(tests):
+        stop_reason = "incomplete"  # pragma: no cover - defensive
+    row.stop_reason = stop_reason
+    return row, summaries
+
+
 def verify_causes(
     entry: ClassUnderTest,
     version: str,
@@ -294,7 +421,8 @@ def render_table2(rows: list[CampaignRow]) -> str:
     header = (
         f"{'Class':26s} {'ver':4s} {'causes':8s} {'dim':8s} "
         f"{'hist avg':>8s} {'hist max':>8s} {'p1 avg':>8s} "
-        f"{'fail':>4s} {'pass':>4s} {'t-fail':>7s} {'t-pass':>7s} {'PB':>3s}"
+        f"{'fail':>4s} {'pass':>4s} {'crash':>5s} "
+        f"{'t-fail':>7s} {'t-pass':>7s} {'PB':>3s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -308,6 +436,7 @@ def render_table2(rows: list[CampaignRow]) -> str:
             f"{row.histories_avg:8.1f} {row.histories_max:8d} "
             f"{row.phase1_avg_s * 1000:7.1f}m "
             f"{row.tests_failed:4d} {row.tests_passed:4d} "
+            f"{row.tests_crashed:5d} "
             f"{row.fail_avg_s * 1000:6.1f}m {row.pass_avg_s * 1000:6.1f}m {pb:>3s}"
         )
     return "\n".join(lines)

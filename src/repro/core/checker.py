@@ -46,16 +46,43 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
 __all__ = [
     "CheckConfig",
     "CheckResult",
+    "VERDICT_PRECEDENCE",
     "Violation",
     "check",
     "check_against_observations",
     "check_with_harness",
+    "worst_verdict",
 ]
 
 #: Violation kinds.
 NONDETERMINISTIC = "nondeterministic-specification"
 NO_FULL_WITNESS = "non-linearizable-history"
 NO_STUCK_WITNESS = "non-linearizable-blocking"
+
+#: Aggregation order for per-test verdicts, worst first.  A FAIL is a
+#: proof (Theorem 5) and dominates everything; a flaky verdict
+#: (re-runs of a FAIL disagreed, see :mod:`repro.exec.supervisor`) is
+#: stronger evidence of trouble than a test that merely crashed its
+#: worker; CRASHED beats EXHAUSTED (the test never completed vs. it ran
+#: out of budget); PASS only survives when nothing worse happened.
+VERDICT_PRECEDENCE = (
+    "FAIL",
+    "nondeterministic-verdict",
+    "CRASHED",
+    "EXHAUSTED",
+    "PASS",
+)
+
+
+def worst_verdict(verdicts) -> str:
+    """The campaign-level verdict implied by per-test *verdicts*."""
+    pool = list(verdicts)
+    if not pool:
+        return "PASS"
+    for verdict in VERDICT_PRECEDENCE:
+        if verdict in pool:
+            return verdict
+    return pool[0]  # unknown verdicts surface rather than vanish
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,10 @@ never leave a half-written artifact where a complete one used to be: a
 truncated checkpoint is worse than none.  ``atomic_write_text`` gives the
 standard guarantee — readers see either the old contents or the new,
 never a mixture — via a temp file in the same directory (same filesystem,
-so the rename is atomic), an fsync, and ``os.replace``.
+so the rename is atomic), an fsync, ``os.replace``, and an fsync of the
+containing directory (without which the *rename itself* may be lost on
+power failure: the data blocks are durable but the directory entry still
+points at the old file).
 """
 
 from __future__ import annotations
@@ -14,6 +17,26 @@ import os
 import tempfile
 
 __all__ = ["atomic_write_text"]
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk, where the platform allows.
+
+    Some platforms/filesystems refuse to open or fsync directories;
+    failing the write for that would be worse than the (rare) lost-rename
+    window, so errors are swallowed.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def atomic_write_text(path: str, text: str) -> None:
@@ -28,6 +51,7 @@ def atomic_write_text(path: str, text: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)

@@ -20,6 +20,13 @@ Syntax, following the paper's example:
 Values (arguments and results) are serialized with ``repr`` and parsed
 back with ``ast.literal_eval``, so any literal-representable value round
 trips.
+
+Written files carry a format envelope on the root element —
+``format="lineup-observations" version="1"`` — so a future format change
+can be detected instead of misparsed.  Loading accepts envelope-less
+legacy files (everything written before the envelope existed) and raises
+:class:`ObservationFileError` on a foreign format name or an unsupported
+version.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ from repro.core.history import History, Profile, SerialHistory, SerialStep
 from repro.core.spec import ObservationSet
 
 __all__ = [
+    "OBSERVATION_FORMAT",
+    "OBSERVATION_VERSION",
     "ObservationFileError",
     "history_line",
     "load_observations",
@@ -41,6 +50,10 @@ __all__ = [
     "observations_to_xml",
     "save_observations",
 ]
+
+#: Envelope identifying the file format (root-element attributes).
+OBSERVATION_FORMAT = "lineup-observations"
+OBSERVATION_VERSION = 1
 
 
 class ObservationFileError(Exception):
@@ -114,6 +127,8 @@ def _attr_to_value(text: str) -> object:
 def observations_to_xml(observations: ObservationSet) -> str:
     """Serialize an observation set to the Fig. 7 XML format."""
     root = ET.Element("observationset")
+    root.set("format", OBSERVATION_FORMAT)
+    root.set("version", str(OBSERVATION_VERSION))
     root.set("threads", str(observations.n_threads))
     groups: dict[Profile, list[SerialHistory]] = {}
     for history in observations:
@@ -150,9 +165,39 @@ def observations_to_xml(observations: ObservationSet) -> str:
     return ET.tostring(root, encoding="unicode")
 
 
+def _check_envelope(root: ET.Element) -> None:
+    """Validate the format envelope; silently accept legacy files.
+
+    Legacy files (written before the envelope existed) carry neither
+    attribute and load fine; a file that *does* declare a format must
+    declare ours at a version we read.
+    """
+    declared_format = root.get("format")
+    declared_version = root.get("version")
+    if declared_format is None and declared_version is None:
+        return
+    if declared_format != OBSERVATION_FORMAT:
+        raise ObservationFileError(
+            f"not an observation file: format is {declared_format!r}, "
+            f"expected {OBSERVATION_FORMAT!r}"
+        )
+    try:
+        version = int(declared_version or "")
+    except ValueError:
+        raise ObservationFileError(
+            f"observation file has a malformed version {declared_version!r}"
+        ) from None
+    if version != OBSERVATION_VERSION:
+        raise ObservationFileError(
+            f"observation file version {version} is not supported "
+            f"(this reader understands version {OBSERVATION_VERSION})"
+        )
+
+
 def observations_from_xml(text: str) -> ObservationSet:
     """Parse an observation file back into an :class:`ObservationSet`."""
     root = ET.fromstring(text)
+    _check_envelope(root)
     observations = ObservationSet(int(root.get("threads", "0")))
     for section in root.findall("observation"):
         ops: dict[int, tuple[int, Invocation, Response | None]] = {}
@@ -218,6 +263,8 @@ def load_observations(path: str) -> ObservationSet:
         ) from exc
     try:
         return observations_from_xml(text)
+    except ObservationFileError:
+        raise  # envelope mismatches already carry a precise message
     except (ET.ParseError, ValueError, SyntaxError, KeyError, StopIteration) as exc:
         raise ObservationFileError(
             f"corrupt observation file {path!r}: {exc}"

@@ -1,0 +1,183 @@
+"""Fault-injection subjects for the crash-containment test-suite.
+
+These classes live in the installed package (not under ``tests/``) so
+spawned workers can import them by module path — a worker resolves its
+subject through a *provider* module, and test tasks name this one.
+
+Each class models one way a hostile black-box subject can hurt the
+checker, graded by what layer must contain it:
+
+* :class:`CrashingRegister` — ``os._exit(3)`` mid-operation: kills the
+  worker process outright; only process isolation survives it.
+* :class:`FreezingRegister` — ``SIGSTOP`` to its own process: the whole
+  worker wedges, heartbeats stop; the supervisor's heartbeat-loss
+  detection must kill and retry.
+* :class:`AllocatingRegister` — allocates without bound: the sandbox's
+  ``RLIMIT_AS`` turns it into a ``MemoryError`` (an ordinary exceptional
+  response) or an isolated worker death instead of a host OOM.
+* :class:`ExitingRegister` — raises ``SystemExit`` mid-operation: the
+  harness already converts it into an exceptional response in-process;
+  included to pin that the layers compose.
+* :class:`FlakyRegister` — verdict flips once per environment (via a
+  marker file under ``LINEUP_FAULT_DIR``): the first check observes
+  nondeterministic serial behaviour (FAIL), every later one is
+  deterministic (PASS).  Drives the flaky-verdict guard.
+* :class:`NondetRegister` — nondeterministic in *every* process (a
+  per-process instantiation counter leaks into results): a FAIL that a
+  re-check confirms.
+* :class:`GoodRegister` — a well-behaved control subject.
+
+The ``get_class`` here falls back to the paper's Table 1 registry, so a
+campaign plan can mix hostile classes with real ones.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from typing import Any
+
+from repro.core.events import Invocation
+from repro.runtime import Runtime
+from repro.structures.registry import ClassUnderTest
+from repro.structures.registry import get_class as _registry_get_class
+
+__all__ = ["FAULT_REGISTRY", "get_class"]
+
+
+def _inv(method: str, *args: Any) -> Invocation:
+    return Invocation(method, args)
+
+
+def _fault_dir() -> str:
+    return os.environ.get("LINEUP_FAULT_DIR", "")
+
+
+class GoodRegister:
+    """A correct register: linearizable, deterministic, boring."""
+
+    def __init__(self, rt: Runtime) -> None:
+        self._cell = rt.volatile(0)
+
+    def Get(self) -> int:
+        return self._cell.get()
+
+    def Set(self, value: int) -> None:
+        self._cell.set(value)
+
+
+class CrashingRegister(GoodRegister):
+    """``Boom`` ends the hosting process with ``os._exit(3)`` mid-operation."""
+
+    def Boom(self) -> None:
+        sys.stderr.write("CrashingRegister: going down via os._exit(3)\n")
+        sys.stderr.flush()
+        os._exit(3)
+
+
+class FreezingRegister(GoodRegister):
+    """``Freeze`` SIGSTOPs its own process: heartbeats cease, nothing dies."""
+
+    def Freeze(self) -> None:
+        os.kill(os.getpid(), signal.SIGSTOP)
+
+
+class AllocatingRegister(GoodRegister):
+    """``Hog`` allocates ~64 MiB per step until something gives.
+
+    The iteration cap bounds the damage to ~2 GiB even if the sandbox
+    failed to apply ``RLIMIT_AS`` (e.g. on a non-POSIX platform).
+    """
+
+    def Hog(self) -> int:
+        hoard = []
+        for _ in range(32):
+            hoard.append(bytearray(64 * 1024 * 1024))
+        return len(hoard)
+
+
+class ExitingRegister(GoodRegister):
+    """``Quit`` raises ``SystemExit`` mid-operation (harness-containable)."""
+
+    def Quit(self) -> None:
+        raise SystemExit(7)
+
+
+class FlakyRegister:
+    """FAILs the first check per environment, PASSes ever after.
+
+    Construction flips a marker file under ``LINEUP_FAULT_DIR``; ``Get``
+    returns whether the marker predated this instance.  During the first
+    check's phase 1 the marker appears *between* serial executions, so
+    the same serial prefix yields two different responses — a
+    nondeterminism FAIL.  Once the marker exists, behaviour is constant
+    and the check PASSes.  Together with a crash in the same worker this
+    reproduces exactly the scenario the flaky-verdict guard exists for.
+    """
+
+    def __init__(self, rt: Runtime) -> None:
+        fault_dir = _fault_dir()
+        if not fault_dir:
+            # No fault dir configured: degrade to a deterministic
+            # register rather than littering marker files in the cwd.
+            self._seen = True
+            return
+        marker = os.path.join(fault_dir, "flaky-marker")
+        self._seen = os.path.exists(marker)
+        if not self._seen:
+            try:
+                with open(marker, "x"):
+                    pass
+            except OSError:
+                pass
+
+    def Get(self) -> bool:
+        return self._seen
+
+
+_NONDET_COUNTER = {"value": 0}
+
+
+class NondetRegister:
+    """Serially nondeterministic in every process (a confirmed FAIL).
+
+    A module-global instantiation counter leaks into ``Get``: phase 1's
+    successive serial executions observe different responses for the same
+    serial prefix, so every check of this class FAILs, in any process.
+    """
+
+    def __init__(self, rt: Runtime) -> None:
+        _NONDET_COUNTER["value"] += 1
+        self._stamp = _NONDET_COUNTER["value"]
+
+    def Get(self) -> int:
+        return self._stamp
+
+
+def _entry(name: str, cls: type, invocations: tuple[Invocation, ...]) -> ClassUnderTest:
+    return ClassUnderTest(
+        name=name,
+        make=lambda rt, v, _cls=cls: _cls(rt),
+        invocations=invocations,
+        notes="fault-injection subject (crash-containment suite)",
+    )
+
+
+FAULT_REGISTRY: tuple[ClassUnderTest, ...] = (
+    _entry("GoodRegister", GoodRegister, (_inv("Get"), _inv("Set", 1))),
+    _entry("CrashingRegister", CrashingRegister, (_inv("Boom"),)),
+    _entry("FreezingRegister", FreezingRegister, (_inv("Freeze"),)),
+    _entry("AllocatingRegister", AllocatingRegister, (_inv("Hog"),)),
+    _entry("ExitingRegister", ExitingRegister, (_inv("Quit"), _inv("Get"))),
+    _entry("FlakyRegister", FlakyRegister, (_inv("Get"),)),
+    _entry("NondetRegister", NondetRegister, (_inv("Get"),)),
+)
+
+
+def get_class(name: str) -> ClassUnderTest:
+    """Resolve a fault class, falling back to the Table 1 registry."""
+    for entry in FAULT_REGISTRY:
+        if entry.name == name:
+            return entry
+    return _registry_get_class(name)

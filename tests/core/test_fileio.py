@@ -1,0 +1,65 @@
+"""Durability tests for the atomic-write primitive."""
+
+from __future__ import annotations
+
+import os
+import stat
+
+import pytest
+
+from repro.core.fileio import atomic_write_text
+
+
+def test_atomic_write_replaces_content(tmp_path):
+    path = tmp_path / "artifact.json"
+    atomic_write_text(str(path), "first")
+    atomic_write_text(str(path), "second")
+    assert path.read_text(encoding="utf-8") == "second"
+    # No temp droppings left behind.
+    assert os.listdir(tmp_path) == ["artifact.json"]
+
+
+def test_atomic_write_fsyncs_file_and_directory(tmp_path, monkeypatch):
+    """The rename is only durable once the directory entry is flushed."""
+    synced_modes = []
+    real_fsync = os.fsync
+
+    def recording_fsync(fd):
+        synced_modes.append(stat.S_IFMT(os.fstat(fd).st_mode))
+        real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", recording_fsync)
+    atomic_write_text(str(tmp_path / "artifact.json"), "payload")
+    assert stat.S_IFREG in synced_modes  # the data blocks
+    assert stat.S_IFDIR in synced_modes  # the directory entry
+    # And the directory fsync happened after the file fsync.
+    assert synced_modes.index(stat.S_IFREG) < synced_modes.index(stat.S_IFDIR)
+
+
+def test_atomic_write_failure_leaves_previous_file(tmp_path, monkeypatch):
+    path = tmp_path / "artifact.json"
+    atomic_write_text(str(path), "old")
+
+    def failing_replace(src, dst):
+        raise OSError("disk on fire")
+
+    monkeypatch.setattr(os, "replace", failing_replace)
+    with pytest.raises(OSError):
+        atomic_write_text(str(path), "new")
+    monkeypatch.undo()
+    assert path.read_text(encoding="utf-8") == "old"
+    assert os.listdir(tmp_path) == ["artifact.json"]
+
+
+def test_directory_fsync_errors_do_not_fail_the_write(tmp_path, monkeypatch):
+    real_open = os.open
+
+    def failing_dir_open(path, flags, *args, **kwargs):
+        if os.path.isdir(path):
+            raise OSError("directories not openable here")
+        return real_open(path, flags, *args, **kwargs)
+
+    monkeypatch.setattr(os, "open", failing_dir_open)
+    target = tmp_path / "artifact.json"
+    atomic_write_text(str(target), "payload")
+    assert target.read_text(encoding="utf-8") == "payload"

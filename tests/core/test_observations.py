@@ -135,3 +135,69 @@ class TestHistoryLine:
         )
         ids = _op_ids_for_profile(stuck.profile_for(1))
         assert history_line(stuck, ids) == "1[ #"
+
+
+class TestFormatEnvelope:
+    """The format/version envelope on the root element."""
+
+    def test_written_files_carry_the_envelope(self, scheduler):
+        xml = observations_to_xml(make_observations(scheduler))
+        assert 'format="lineup-observations"' in xml
+        assert 'version="1"' in xml
+
+    def test_enveloped_files_round_trip(self, scheduler, tmp_path):
+        observations = make_observations(scheduler)
+        path = tmp_path / "observations.xml"
+        save_observations(observations, str(path))
+        parsed = load_observations(str(path))
+        assert {h.tokens() for h in observations} == {h.tokens() for h in parsed}
+        assert parsed.n_threads == observations.n_threads
+
+    def test_legacy_files_without_envelope_still_load(self, scheduler):
+        xml = observations_to_xml(make_observations(scheduler))
+        legacy = xml.replace(
+            'format="lineup-observations" version="1" ', "", 1
+        )
+        assert "lineup-observations" not in legacy
+        parsed = observations_from_xml(legacy)
+        original = make_observations(scheduler)
+        assert {h.tokens() for h in original} == {h.tokens() for h in parsed}
+
+    def test_foreign_format_is_rejected(self, scheduler, tmp_path):
+        import pytest
+
+        from repro.core import ObservationFileError
+
+        xml = observations_to_xml(make_observations(scheduler)).replace(
+            'format="lineup-observations"', 'format="someone-elses-format"'
+        )
+        path = tmp_path / "foreign.xml"
+        path.write_text(xml, encoding="utf-8")
+        with pytest.raises(ObservationFileError, match="someone-elses-format"):
+            load_observations(str(path))
+
+    def test_future_version_is_rejected_with_clear_error(
+        self, scheduler, tmp_path
+    ):
+        import pytest
+
+        from repro.core import ObservationFileError
+
+        xml = observations_to_xml(make_observations(scheduler)).replace(
+            'version="1"', 'version="99"'
+        )
+        path = tmp_path / "future.xml"
+        path.write_text(xml, encoding="utf-8")
+        with pytest.raises(ObservationFileError, match="version 99"):
+            load_observations(str(path))
+
+    def test_malformed_version_is_rejected(self, scheduler):
+        import pytest
+
+        from repro.core import ObservationFileError
+
+        xml = observations_to_xml(make_observations(scheduler)).replace(
+            'version="1"', 'version="one"'
+        )
+        with pytest.raises(ObservationFileError, match="malformed version"):
+            observations_from_xml(xml)

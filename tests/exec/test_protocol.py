@@ -1,0 +1,74 @@
+"""Unit tests for the length-prefixed JSON frame layer."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.exec.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFrameRoundTrip:
+    def test_round_trip(self):
+        message = {"type": "result", "id": 3, "verdict": "PASS", "x": [1, 2]}
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_round_trip_unicode(self):
+        message = {"type": "task-error", "error": "départ — ☠"}
+        assert decode_frame(encode_frame(message)) == message
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"type": "ready"})
+        (length,) = struct.unpack_from(">I", frame)
+        assert length == len(frame) - 4
+
+
+class TestFrameCorruption:
+    """Every torn/hostile frame must be a ProtocolError, never a misparse."""
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_frame(b"\x00\x01")
+
+    def test_truncated_payload(self):
+        frame = encode_frame({"type": "ready"})
+        with pytest.raises(ProtocolError, match="claims"):
+            decode_frame(frame[:-2])
+
+    def test_trailing_garbage(self):
+        frame = encode_frame({"type": "ready"})
+        with pytest.raises(ProtocolError, match="claims"):
+            decode_frame(frame + b"xx")
+
+    def test_oversize_length_prefix(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="corrupt"):
+            decode_frame(header + b"x")
+
+    def test_non_json_payload(self):
+        payload = b"\xff\xfenot json"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame(frame)
+
+    def test_non_object_payload(self):
+        payload = b"[1, 2, 3]"
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="not a message object"):
+            decode_frame(frame)
+
+    def test_object_without_type(self):
+        payload = b'{"id": 1}'
+        frame = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="not a message object"):
+            decode_frame(frame)
+
+    def test_unencodable_message(self):
+        with pytest.raises(ProtocolError, match="not JSON-able"):
+            encode_frame({"type": "result", "conn": object()})

@@ -1,0 +1,165 @@
+"""Supervision tests: verdicts, crash retry, quarantine, the flaky guard.
+
+These spawn real worker processes; configs keep the checks tiny (random
+phase 2, 10 executions) so each test stays in the seconds range.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exec import (
+    PoolConfig,
+    SupervisorError,
+    TaskSpec,
+    WorkerPool,
+    repro_command,
+)
+
+from tests.exec.conftest import FAST_CONFIG, make_spec
+
+
+class TestVerdicts:
+    def test_pass_and_fail_across_workers(self, pool_config):
+        specs = [
+            make_spec(0, "GoodRegister", [["Get"], ["Get"]]),
+            make_spec(1, "NondetRegister", [["Get"], ["Get"]]),
+        ]
+        with WorkerPool(pool_config(workers=2)) as pool:
+            outcomes, stop = pool.run(specs)
+        assert stop is None
+        assert [o.index for o in outcomes] == [0, 1]
+        assert outcomes[0].verdict == "PASS"
+        assert outcomes[1].verdict == "FAIL"
+        # Clean completions: no retries burned, no crash evidence.
+        assert all(o.retries == 0 and not o.crashes for o in outcomes)
+        # The decisive attempt's summary rides along for campaign rows.
+        assert outcomes[0].summary is not None
+
+    def test_pool_is_reusable_across_batches(self, pool_config):
+        with WorkerPool(pool_config(workers=1)) as pool:
+            first, _ = pool.run([make_spec(0, "GoodRegister", [["Get"]])])
+            second, _ = pool.run([make_spec(0, "GoodRegister", [["Get"]])])
+        assert first[0].verdict == "PASS"
+        assert second[0].verdict == "PASS"
+
+
+class TestCrashContainment:
+    def test_crash_retries_then_quarantines(self, pool_config):
+        config = pool_config(workers=1, max_retries=1)
+        spec = make_spec(0, "CrashingRegister", [["Boom"]])
+        with WorkerPool(config) as pool:
+            outcomes, _ = pool.run([spec])
+        (outcome,) = outcomes
+        assert outcome.verdict == "CRASHED"
+        assert outcome.crashed
+        # One initial attempt + one retry, each crashing.
+        assert outcome.retries == 2
+        assert len(outcome.crashes) == 2
+        assert all(c["reason"] == "worker-died" for c in outcome.crashes)
+        assert all(c["exitcode"] == 3 for c in outcome.crashes)
+        # The subject's dying words reach the crash evidence.
+        assert "os._exit(3)" in outcome.crashes[0]["stderr_tail"]
+
+    def test_crash_report_artifact(self, pool_config):
+        config = pool_config(workers=1, max_retries=0)
+        spec = make_spec(0, "CrashingRegister", [["Boom"]])
+        with WorkerPool(config) as pool:
+            outcomes, _ = pool.run([spec])
+        (outcome,) = outcomes
+        assert outcome.crash_report is not None
+        assert os.path.exists(outcome.crash_report)
+        report = json.loads(open(outcome.crash_report).read())
+        assert report["format"] == "lineup-crash-report"
+        assert report["version"] == 1
+        assert report["class"] == "CrashingRegister"
+        assert report["task_index"] == 0
+        assert report["provider"] == "repro.exec.faults"
+        assert "python -m repro check CrashingRegister" in report["repro_command"]
+        assert "--provider repro.exec.faults" in report["repro_command"]
+        assert report["crashes"][0]["exitcode"] == 3
+        # The sandbox snapshot says what limits were actually enforced.
+        assert "rlimits" in report["crashes"][0]
+
+    def test_heartbeat_loss_is_detected(self, pool_config):
+        """A SIGSTOPped worker never dies — heartbeat loss must catch it."""
+        config = pool_config(
+            workers=1, max_retries=0, heartbeat_timeout=2.0
+        )
+        spec = make_spec(0, "FreezingRegister", [["Freeze"]])
+        with WorkerPool(config) as pool:
+            outcomes, _ = pool.run([spec])
+        (outcome,) = outcomes
+        assert outcome.verdict == "CRASHED"
+        assert outcome.crashes[0]["reason"] == "heartbeat-loss"
+
+
+class TestFlakyVerdictGuard:
+    def test_crash_triggers_rerun_of_suspect_fail(
+        self, pool_config, tmp_path, monkeypatch
+    ):
+        """A FAIL from a later-crashed worker is re-run; disagreement is
+        reported as nondeterministic-verdict, not silently kept."""
+        monkeypatch.setenv("LINEUP_FAULT_DIR", str(tmp_path))
+        config = pool_config(workers=1, max_retries=0)
+        specs = [
+            # FAILs on the first check in this environment, PASSes after.
+            make_spec(0, "FlakyRegister", [["Get"]]),
+            # Then kills the very worker that produced that FAIL.
+            make_spec(1, "CrashingRegister", [["Boom"]]),
+        ]
+        with WorkerPool(config) as pool:
+            outcomes, _ = pool.run(specs)
+        flaky, crasher = outcomes
+        assert crasher.verdict == "CRASHED"
+        assert flaky.verdict == "nondeterministic-verdict"
+        # First attempt FAILed, the re-run and tie-breaker PASSed.
+        assert flaky.verdicts == ["FAIL", "PASS", "PASS"]
+
+
+class TestPoolApi:
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            PoolConfig(workers=0)
+        with pytest.raises(ValueError, match="start_method"):
+            PoolConfig(start_method="fork")
+        with pytest.raises(ValueError, match="max_retries"):
+            PoolConfig(max_retries=-1)
+
+    def test_closed_pool_rejects_run(self, pool_config):
+        pool = WorkerPool(pool_config(workers=1))
+        pool.close()
+        with pytest.raises(SupervisorError, match="closed"):
+            pool.run([make_spec(0, "GoodRegister", [["Get"]])])
+
+    def test_duplicate_task_indices_rejected(self, pool_config):
+        with WorkerPool(pool_config(workers=1)) as pool:
+            with pytest.raises(SupervisorError, match="unique"):
+                pool.run(
+                    [
+                        make_spec(0, "GoodRegister", [["Get"]]),
+                        make_spec(0, "GoodRegister", [["Get"]]),
+                    ]
+                )
+
+    def test_repro_command_renders_the_failing_invocation(self):
+        spec = make_spec(5, "CrashingRegister", [["Boom"], ["Get"]])
+        command = repro_command(spec)
+        assert command.startswith("python -m repro check CrashingRegister")
+        assert "--version pre" in command
+        assert '--test "Boom | Get"' in command
+        assert "--provider repro.exec.faults" in command
+
+    def test_repro_command_omits_default_provider(self):
+        spec = TaskSpec(
+            index=0,
+            class_name="ConcurrentQueue",
+            version="beta",
+            test=make_spec(0, "GoodRegister", [["Get"]]).test,
+            config=FAST_CONFIG,
+            provider="repro.structures",
+        )
+        assert "--provider" not in repro_command(spec)
