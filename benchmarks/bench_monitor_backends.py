@@ -1,0 +1,271 @@
+"""Monitor backends head-to-head: observations vs WGL vs P-compositional
+vs specialized.
+
+Two questions, mirroring the monitoring literature's claims:
+
+1. **Backend** — on a live subject, how does the two-phase check
+   (synthesize a spec serially, then witness-search) compare with
+   model-based monitoring (no phase 1 at all)?
+2. **Engine** — on per-key workloads, how much does the P-compositional
+   partition (Horn & Kroening) and the decrease-and-conquer closed form
+   (Lee & Mathur) save over the whole-history Wing–Gong–Lowe search?
+
+Shape asserted: all engines agree on every verdict; the compositional
+and specialized engines explore strictly fewer configurations than the
+whole-history WGL search on the per-key dictionary workload.
+
+``python benchmarks/bench_monitor_backends.py --quick`` runs a reduced
+version of the engine comparison as a CI smoke test (no pytest-benchmark
+needed); ``--full`` prints the RESULTS.md table.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History
+from repro.monitor import (
+    compositional_check,
+    get_model,
+    specialized_check,
+    wgl_check,
+)
+
+DICT = get_model("dict")
+QUEUE = get_model("queue")
+
+
+# ---------------------------------------------------------------------------
+# Workload generators (synthetic histories, correct by construction).
+
+
+def per_key_dict_history(
+    n_threads: int, rounds: int, seed: int, violate: bool = False
+) -> History:
+    """Each thread hammers its own key; all calls of a round overlap.
+
+    The layered overlap is the adversarial case for the whole-history
+    search.  A passing history is cheap for every engine (the DFS walks
+    straight down a witness), so *violating* histories — where the
+    search must exhaust the configuration space to prove the FAIL — are
+    where the partition pays off: with ``violate`` one response is
+    corrupted, and the whole-history refutation multiplies across
+    threads while the per-key engines refute one small cell.
+    """
+    rng = random.Random(seed)
+    model = DICT
+    states = {t: model.initial_state() for t in range(n_threads)}
+    events: list[Event] = []
+    for r in range(rounds):
+        invocations = {}
+        for t in range(n_threads):
+            method = rng.choice(
+                ["TryAdd", "TryRemove", "TryGetValue", "ContainsKey"]
+            )
+            args = (f"k{t}", r) if method == "TryAdd" else (f"k{t}",)
+            invocations[t] = Invocation(method, args)
+            events.append(Event.call(t, r, invocations[t]))
+        for t in range(n_threads):
+            states[t], response = model.apply(states[t], invocations[t])
+            if violate and t == 0 and r == rounds // 2:
+                response = Response.of("poison")  # matches no model response
+            events.append(Event.ret(t, r, response))
+    return History(events, n_threads=n_threads)
+
+
+def long_queue_history(n_values: int, seed: int) -> History:
+    """A 2-thread producer/consumer run with overlapping enqueue/dequeue."""
+    rng = random.Random(seed)
+    events: list[Event] = []
+    queued: list[int] = []
+    produced = consumed = 0
+    p_index = c_index = 0
+    while consumed < n_values:
+        if produced < n_values and (not queued or rng.random() < 0.5):
+            events.append(Event.call(0, p_index, Invocation("Enqueue", (produced,))))
+            events.append(Event.ret(0, p_index, Response.of(None)))
+            queued.append(produced)
+            produced += 1
+            p_index += 1
+        else:
+            value = queued.pop(0)
+            events.append(Event.call(1, c_index, Invocation("TryDequeue", ())))
+            events.append(Event.ret(1, c_index, Response.of(value)))
+            consumed += 1
+            c_index += 1
+    return History(events, n_threads=2)
+
+
+ENGINES = (
+    ("wgl", wgl_check),
+    ("compositional", compositional_check),
+    ("specialized", specialized_check),
+)
+
+
+def run_engines(histories, model, cap=None):
+    """Check every history with every engine; return per-engine totals."""
+    totals = {}
+    verdicts = {}
+    for name, engine in ENGINES:
+        t0 = time.perf_counter()
+        configurations = 0
+        oks = []
+        for history in histories:
+            result = engine(history, model, max_configurations=cap)
+            configurations += result.configurations
+            oks.append(result.ok)
+        totals[name] = {
+            "seconds": time.perf_counter() - t0,
+            "configurations": configurations,
+        }
+        verdicts[name] = oks
+    baseline = verdicts["wgl"]
+    for name, oks in verdicts.items():
+        assert oks == baseline, f"engine {name} disagrees with wgl"
+    return totals
+
+
+def dict_workload(n_histories: int, n_threads: int, rounds: int):
+    # Half the histories carry a single-cell violation (see the
+    # generator's docstring): the refutations are where the engines part.
+    return [
+        per_key_dict_history(n_threads, rounds, seed, violate=seed % 2 == 1)
+        for seed in range(n_histories)
+    ]
+
+
+def queue_workload(n_histories: int, n_values: int):
+    return [long_queue_history(n_values, seed) for seed in range(n_histories)]
+
+
+def print_table(title: str, totals: dict) -> None:
+    print(f"\n=== {title} ===")
+    print(f"{'engine':14s} {'configurations':>14s} {'ms':>9s}")
+    for name, row in totals.items():
+        print(
+            f"{name:14s} {row['configurations']:14d} "
+            f"{row['seconds'] * 1000:9.1f}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points.
+
+
+def test_engines_on_per_key_dict_workload(benchmark):
+    from conftest import once
+
+    histories = dict_workload(n_histories=20, n_threads=5, rounds=5)
+    totals = once(benchmark, run_engines, histories, DICT)
+    print_table("per-key dict workload (5 threads x 5 rounds, 20 histories)", totals)
+    assert totals["compositional"]["configurations"] < totals["wgl"]["configurations"]
+    assert totals["specialized"]["configurations"] < totals["wgl"]["configurations"]
+    assert totals["compositional"]["seconds"] < totals["wgl"]["seconds"]
+
+
+def test_engines_on_long_queue_histories(benchmark):
+    from conftest import once
+
+    histories = queue_workload(n_histories=10, n_values=120)
+    totals = once(benchmark, run_engines, histories, QUEUE)
+    print_table("producer/consumer queue (120 values, 10 histories)", totals)
+    # The closed-form axioms need no configurations at all.
+    assert totals["specialized"]["configurations"] == 0
+    assert totals["specialized"]["seconds"] < totals["wgl"]["seconds"]
+
+
+def test_backends_on_live_subject(benchmark, scheduler):
+    """Two-phase check vs the monitor backend on the same subject/test."""
+    from conftest import once
+
+    from repro.core import CheckConfig, FiniteTest, SystemUnderTest, check
+    from repro.structures import get_class
+
+    entry = get_class("ConcurrentQueue")
+    test = FiniteTest.of(
+        [
+            [Invocation("Enqueue", (1,)), Invocation("TryDequeue", ())],
+            [Invocation("Enqueue", (2,)), Invocation("TryDequeue", ())],
+        ]
+    )
+
+    def run_both():
+        out = {}
+        for backend, config in (
+            ("observations", CheckConfig()),
+            ("monitor", CheckConfig(backend="monitor", model="queue")),
+        ):
+            subject = SystemUnderTest(entry.factory("beta"), "ConcurrentQueue(beta)")
+            t0 = time.perf_counter()
+            result = check(subject, test, config, scheduler=scheduler)
+            out[backend] = {
+                "seconds": time.perf_counter() - t0,
+                "verdict": result.verdict,
+                "phase1_executions": result.phase1.executions,
+            }
+        return out
+
+    out = once(benchmark, run_both)
+    assert out["observations"]["verdict"] == out["monitor"]["verdict"] == "PASS"
+    assert out["monitor"]["phase1_executions"] == 0
+    print("\n=== backends on ConcurrentQueue(beta), 2x2 test ===")
+    for backend, row in out.items():
+        print(
+            f"{backend:14s} verdict={row['verdict']} "
+            f"phase1={row['phase1_executions']:4d} "
+            f"{row['seconds'] * 1000:8.1f} ms"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stand-alone smoke mode for CI (no pytest, no benchmark plugin).
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload: a fast CI smoke test",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="the full RESULTS.md workload",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        dict_histories = dict_workload(n_histories=5, n_threads=4, rounds=4)
+        queue_histories = queue_workload(n_histories=3, n_values=40)
+    else:
+        dict_histories = dict_workload(n_histories=20, n_threads=5, rounds=5)
+        queue_histories = queue_workload(n_histories=10, n_values=120)
+
+    dict_totals = run_engines(dict_histories, DICT)
+    print_table(
+        f"per-key dict workload ({len(dict_histories)} histories)", dict_totals
+    )
+    queue_totals = run_engines(queue_histories, QUEUE)
+    print_table(
+        f"producer/consumer queue ({len(queue_histories)} histories)", queue_totals
+    )
+
+    ok = (
+        dict_totals["compositional"]["configurations"]
+        < dict_totals["wgl"]["configurations"]
+        and dict_totals["specialized"]["configurations"]
+        < dict_totals["wgl"]["configurations"]
+        and queue_totals["specialized"]["configurations"] == 0
+    )
+    print(f"\nsmoke {'PASS' if ok else 'FAIL'}: partition/closed-form beat WGL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

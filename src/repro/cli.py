@@ -208,6 +208,13 @@ def _budget_from_args(args: argparse.Namespace) -> ExplorationBudget | None:
 
 
 def _config_from_args(args: argparse.Namespace) -> CheckConfig:
+    backend = getattr(args, "backend", "observations")
+    model = getattr(args, "model", None)
+    if backend == "monitor" and model is None:
+        raise CliError("--backend monitor requires --model NAME")
+    if model is not None and backend == "observations":
+        # A model without an explicit backend means the monitor backend.
+        backend = "monitor"
     return CheckConfig(
         preemption_bound=None if args.preemption_bound < 0 else args.preemption_bound,
         phase2_strategy=args.strategy,
@@ -216,6 +223,10 @@ def _config_from_args(args: argparse.Namespace) -> CheckConfig:
         max_concurrent_executions=args.max_executions,
         budget=_budget_from_args(args),
         watchdog_seconds=getattr(args, "watchdog", None),
+        backend=backend,
+        model=model,
+        monitor_engine=getattr(args, "engine", "auto"),
+        dump_traces=getattr(args, "dump_traces", None),
     )
 
 
@@ -311,7 +322,34 @@ def _add_check_options(parser: argparse.ArgumentParser) -> None:
         "--max-executions", type=int, default=20_000, metavar="N",
         help="phase-2 execution cap (default: 20000)",
     )
+    parser.add_argument(
+        "--backend", choices=("observations", "monitor"), default="observations",
+        help="phase-2 verification backend: 'observations' checks against "
+             "the phase-1 synthesized spec (complete per Theorem 5); "
+             "'monitor' skips phase 1 and checks each history against an "
+             "explicit sequential model (requires --model)",
+    )
+    parser.add_argument(
+        "--model", metavar="NAME",
+        help="sequential model for the monitor backend (register, counter, "
+             "queue, stack, set, dict); implies --backend monitor",
+    )
+    parser.add_argument(
+        "--engine", choices=("auto", "wgl", "compositional", "specialized"),
+        default="auto",
+        help="monitor algorithm (default: auto — cheapest applicable)",
+    )
+    _add_trace_dump_option(parser)
     _add_provider_option(parser)
+
+
+def _add_trace_dump_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dump-traces", metavar="DIR",
+        help="dump every explored concurrent history into DIR as a JSONL "
+             "trace file (one per test), re-checkable offline with "
+             "'monitor TRACE --model NAME'",
+    )
 
 
 def _add_provider_option(parser: argparse.ArgumentParser) -> None:
@@ -388,6 +426,15 @@ def _run_check(
 def cmd_check(args: argparse.Namespace) -> int:
     entry = _provider_get_class(args.provider)(args.cls)
     test = _resolve_test(args, entry)
+    config = _config_from_args(args)
+    if config.backend == "monitor":
+        if args.checkpoint:
+            raise CliError(
+                "--backend monitor does not support --checkpoint (there "
+                "is no phase-1 state to resume)"
+            )
+        if args.relaxed:
+            raise CliError("--backend monitor is incompatible with --relaxed")
     subject = SystemUnderTest(
         entry.factory(args.version), f"{entry.name}({args.version})"
     )
@@ -413,14 +460,14 @@ def cmd_check(args: argparse.Namespace) -> int:
     result, code = _run_check(
         subject,
         test,
-        _config_from_args(args),
+        config,
         checkpoint=args.checkpoint,
         extra={"subject": {"cls": entry.name, "version": args.version}},
     )
     if result.failed and args.minimize:
         print("minimizing the failing test ...")
         minimized, result = minimize_failing_test(
-            subject, test, config=_config_from_args(args)
+            subject, test, config=config
         )
         print(f"minimal failing dimension: {minimized.dimension}")
         print()
@@ -499,6 +546,7 @@ def _run_campaign_plan(
         max_serial_executions=2000,
         budget=budget,
         watchdog_seconds=params.get("watchdog"),
+        dump_traces=params.get("dump_traces"),
     )
     stopper = _SignalStop().install()
     control = ExplorationControl(budget=budget, stop=stopper)
@@ -660,6 +708,7 @@ def _run_campaign_plan_isolated(
         max_serial_executions=2000,
         budget=budget,
         watchdog_seconds=params.get("watchdog"),
+        dump_traces=params.get("dump_traces"),
     )
     provider = params.get("provider")
     resolve = _provider_get_class(provider)
@@ -799,6 +848,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "start_method": args.start_method,
         "report_dir": args.report_dir,
         "provider": args.provider,
+        "dump_traces": args.dump_traces,
     }
     if args.isolate:
         return _run_campaign_plan_isolated(plan, params, args.checkpoint, [])
@@ -929,6 +979,98 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Offline re-check of a JSONL trace against an explicit model."""
+    from repro.core.checker import NO_FULL_WITNESS, NO_STUCK_WITNESS, Violation
+    from repro.core.checkpoint import test_from_dict
+    from repro.core.explain import diagnose_monitor_failure
+    from repro.core.report import render_violation
+    from repro.monitor import (
+        ModelError,
+        MonitorLimitError,
+        TraceError,
+        get_model,
+        load_trace,
+        monitor_history,
+    )
+
+    try:
+        model = get_model(args.model)
+        trace = load_trace(args.trace)
+    except (ModelError, TraceError) as exc:
+        raise CliError(str(exc)) from exc
+
+    def trace_test(history) -> FiniteTest:
+        if trace.test is not None:
+            try:
+                return test_from_dict(trace.test)
+            except Exception:  # noqa: BLE001 - header metadata is advisory
+                pass
+        return FiniteTest.of(
+            [
+                [op.invocation for op in history.operations if op.thread == t]
+                for t in range(trace.n_threads)
+            ]
+        )
+
+    subject = trace.subject or "(unknown subject)"
+    print(
+        f"Monitoring {len(trace.histories)} histories of {subject} "
+        f"against model {model.name!r} (engine {args.engine})"
+    )
+    if trace.truncated:
+        print("note: the trace's final record was truncated and is skipped")
+    failures = 0
+    exhausted = 0
+    first_violation: "Violation | None" = None
+    for number, history in enumerate(trace.histories, start=1):
+        try:
+            verdict = monitor_history(
+                history,
+                model,
+                engine=args.engine,
+                max_configurations=args.max_configurations,
+            )
+        except MonitorLimitError:
+            exhausted += 1
+            if args.verbose:
+                print(f"  history {number}: EXHAUSTED (configuration cap)")
+            continue
+        if verdict.ok:
+            if args.verbose:
+                print(
+                    f"  history {number}: OK "
+                    f"({verdict.result.engine}, "
+                    f"{verdict.result.configurations} configurations)"
+                )
+            continue
+        failures += 1
+        if args.verbose:
+            print(f"  history {number}: FAIL")
+        if first_violation is None:
+            first_violation = Violation(
+                kind=(
+                    NO_STUCK_WITNESS
+                    if verdict.failed_pending is not None
+                    else NO_FULL_WITNESS
+                ),
+                test=trace_test(history),
+                history=history,
+                pending_op=verdict.failed_pending,
+                diagnosis=diagnose_monitor_failure(verdict, model),
+            )
+    print(
+        f"verdict: {'FAIL' if failures else ('EXHAUSTED' if exhausted else 'PASS')} "
+        f"({len(trace.histories) - failures - exhausted} ok, "
+        f"{failures} violating, {exhausted} exhausted)"
+    )
+    if first_violation is not None:
+        print()
+        print(render_violation(first_violation))
+        return EXIT_FAIL
+    return EXIT_EXHAUSTED if exhausted else EXIT_PASS
+
+
 def cmd_observations(args: argparse.Namespace) -> int:
     entry = _provider_get_class(getattr(args, "provider", None))(args.cls)
     test = _resolve_test(args, entry)
@@ -1043,6 +1185,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_provider_option(p_campaign)
     _add_isolation_options(p_campaign)
     _add_robustness_options(p_campaign)
+    _add_trace_dump_option(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_resume = sub.add_parser(
@@ -1059,6 +1202,37 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the original budget is total across sessions)",
     )
     p_resume.set_defaults(func=cmd_resume)
+
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="re-check a dumped JSONL trace against an explicit "
+             "sequential model (no execution, no phase 1)",
+        epilog=_EXIT_CODE_HELP,
+    )
+    p_monitor.add_argument(
+        "trace", metavar="TRACE",
+        help="JSONL trace file (written by --dump-traces or referenced by "
+             "a crash report's trace_file)",
+    )
+    p_monitor.add_argument(
+        "--model", required=True, metavar="NAME",
+        help="sequential model to check against (register, counter, "
+             "queue, stack, set, dict)",
+    )
+    p_monitor.add_argument(
+        "--engine", choices=("auto", "wgl", "compositional", "specialized"),
+        default="auto",
+        help="monitor algorithm (default: auto — cheapest applicable)",
+    )
+    p_monitor.add_argument(
+        "--max-configurations", type=int, metavar="N",
+        help="abort a history's search past N configurations (EXHAUSTED)",
+    )
+    p_monitor.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print a verdict line per history",
+    )
+    p_monitor.set_defaults(func=cmd_monitor)
 
     p_obs = sub.add_parser(
         "observations", help="phase 1 only: write the observation file"

@@ -118,6 +118,21 @@ class CheckConfig:
     #: divergent.  None (the default) disables the watchdog.  Only applies
     #: to schedulers the check creates, not to a caller-provided one.
     watchdog_seconds: float | None = None
+    #: phase-2 verification backend.  ``"observations"`` checks histories
+    #: against the phase-1 synthesized specification (Definitions 1/2,
+    #: complete per Theorem 5); ``"monitor"`` skips phase 1 entirely and
+    #: checks each history against the explicit sequential ``model`` via
+    #: :mod:`repro.monitor` — a PASS then certifies linearizability with
+    #: respect to that one model only.
+    backend: str = "observations"
+    #: sequential model name for the monitor backend (see
+    #: :func:`repro.monitor.get_model`); required when backend="monitor".
+    model: str | None = None
+    #: monitor engine: "auto", "wgl", "compositional" or "specialized".
+    monitor_engine: str = "auto"
+    #: directory to dump every explored concurrent history into as a
+    #: JSONL trace file (:mod:`repro.monitor.trace`); None disables.
+    dump_traces: str | None = None
 
     def make_phase2_strategy(self) -> SchedulingStrategy:
         if self.phase2_strategy == "dfs":
@@ -157,6 +172,10 @@ class Violation:
     pending_op: Any = None
     nondeterminism: NondeterminismWitness | None = None
     decisions: tuple[Decision, ...] = ()
+    #: pre-computed :class:`repro.core.explain.Diagnosis` for violations
+    #: found by the monitor backend, which has no observation set to
+    #: diagnose against; the report renderer prefers this when present.
+    diagnosis: Any = None
 
     def describe(self) -> str:
         if self.kind == NONDETERMINISTIC:
@@ -274,6 +293,22 @@ def check_with_harness(
         control.meter = BudgetMeter.from_snapshot(resume.budget_snapshot)
     if control is not None:
         control.start()
+
+    if cfg.backend == "monitor":
+        # Model-based monitoring needs no synthesized specification, so
+        # phase 1 is skipped entirely; each phase-2 history is checked
+        # directly against the explicit sequential model.
+        if cfg.model is None:
+            raise ValueError("backend 'monitor' requires a model name")
+        if checkpointer is not None or resume is not None:
+            raise ValueError(
+                "the monitor backend does not support checkpoint/resume"
+            )
+        result = CheckResult(verdict="PASS", test=test)
+        _run_phase2(harness, test, None, cfg, result, control=control)
+        return result
+    if cfg.backend != "observations":
+        raise ValueError(f"unknown check backend {cfg.backend!r}")
 
     def budget_snapshot() -> dict | None:
         if control is not None and control.meter is not None:
@@ -417,7 +452,7 @@ def check_against_observations(
 def _run_phase2(
     harness: TestHarness,
     test: FiniteTest,
-    observations: ObservationSet,
+    observations: ObservationSet | None,
     cfg: CheckConfig,
     result: CheckResult,
     *,
@@ -431,6 +466,25 @@ def _run_phase2(
         strategy = cfg.make_phase2_strategy()
     if control is not None:
         control.start()
+
+    monitor_model = None
+    if cfg.backend == "monitor":
+        from repro.monitor import get_model
+
+        monitor_model = get_model(cfg.model or "")
+
+    trace_writer = None
+    if cfg.dump_traces:
+        from repro.core.checkpoint import test_to_dict
+        from repro.monitor.trace import TraceWriter, default_trace_path
+
+        test_dict = test_to_dict(test)
+        trace_writer = TraceWriter(
+            default_trace_path(cfg.dump_traces, harness.subject.name, test_dict),
+            n_threads=test.n_threads,
+            subject=harness.subject.name,
+            test=test_dict,
+        )
     remaining = cfg.max_concurrent_executions
     if remaining is not None:
         remaining = max(0, remaining - result.phase2_executions)
@@ -461,46 +515,46 @@ def _run_phase2(
         )
 
     halted: str | None = None
-    for history, outcome in harness.explore_concurrent(
-        test, strategy, max_executions=remaining
-    ):
-        result.phase2_executions += 1
-        if control is not None:
-            control.note(outcome)
-        violation: Violation | None = None
-        if history.stuck:
-            result.phase2_stuck += 1
-            if history.divergent:
-                result.phase2_divergent += 1
-            stuck_check = check_stuck_history(history, observations)
-            if not stuck_check.ok:
-                violation = Violation(
-                    kind=NO_STUCK_WITNESS,
-                    test=test,
-                    history=history,
-                    pending_op=stuck_check.failed,
-                    decisions=tuple(outcome.decisions),
+    try:
+        for history, outcome in harness.explore_concurrent(
+            test, strategy, max_executions=remaining
+        ):
+            result.phase2_executions += 1
+            if control is not None:
+                control.note(outcome)
+            if history.stuck:
+                result.phase2_stuck += 1
+                if history.divergent:
+                    result.phase2_divergent += 1
+            else:
+                result.phase2_full += 1
+            if monitor_model is not None:
+                violation = _monitor_violation(
+                    history, monitor_model, cfg, test, outcome
                 )
-        else:
-            result.phase2_full += 1
-            if check_full_history(history, observations) is None:
-                violation = Violation(
-                    kind=NO_FULL_WITNESS,
-                    test=test,
-                    history=history,
-                    decisions=tuple(outcome.decisions),
+            else:
+                assert observations is not None
+                violation = _observation_violation(
+                    history, observations, test, outcome
                 )
-        if violation is not None:
-            result.verdict = "FAIL"
-            result.violations.append(violation)
-            if cfg.stop_at_first_violation:
-                break
-        if control is not None:
-            halted = control.halt_reason()
-            if halted is not None:
-                break
-        if checkpointer is not None:
-            checkpointer.tick(make_state)
+            if trace_writer is not None:
+                trace_writer.write(
+                    history, verdict="FAIL" if violation is not None else None
+                )
+            if violation is not None:
+                result.verdict = "FAIL"
+                result.violations.append(violation)
+                if cfg.stop_at_first_violation:
+                    break
+            if control is not None:
+                halted = control.halt_reason()
+                if halted is not None:
+                    break
+            if checkpointer is not None:
+                checkpointer.tick(make_state)
+    finally:
+        if trace_writer is not None:
+            trace_writer.close()
     result.phase2_seconds = seconds_base + time.perf_counter() - t1
     if halted is not None:
         result.exhausted_reason = halted
@@ -513,3 +567,55 @@ def _run_phase2(
             checkpointer.save(make_state())
     elif strategy.more():
         result.phase2_complete = False
+
+
+def _observation_violation(
+    history: History,
+    observations: ObservationSet,
+    test: FiniteTest,
+    outcome: Any,
+) -> Violation | None:
+    """Definition 1/2 verdict of one history against the synthesized spec."""
+    if history.stuck:
+        stuck_check = check_stuck_history(history, observations)
+        if not stuck_check.ok:
+            return Violation(
+                kind=NO_STUCK_WITNESS,
+                test=test,
+                history=history,
+                pending_op=stuck_check.failed,
+                decisions=tuple(outcome.decisions),
+            )
+        return None
+    if check_full_history(history, observations) is None:
+        return Violation(
+            kind=NO_FULL_WITNESS,
+            test=test,
+            history=history,
+            decisions=tuple(outcome.decisions),
+        )
+    return None
+
+
+def _monitor_violation(
+    history: History,
+    model: Any,
+    cfg: CheckConfig,
+    test: FiniteTest,
+    outcome: Any,
+) -> Violation | None:
+    """Model-based verdict of one history (the monitor backend)."""
+    from repro.core.explain import diagnose_monitor_failure
+    from repro.monitor.dispatch import monitor_history
+
+    verdict = monitor_history(history, model, engine=cfg.monitor_engine)
+    if verdict.ok:
+        return None
+    return Violation(
+        kind=NO_STUCK_WITNESS if verdict.failed_pending is not None else NO_FULL_WITNESS,
+        test=test,
+        history=history,
+        pending_op=verdict.failed_pending,
+        decisions=tuple(outcome.decisions),
+        diagnosis=diagnose_monitor_failure(verdict, model),
+    )

@@ -114,6 +114,10 @@ def config_to_dict(config: CheckConfig) -> dict:
         "stop_at_first_violation": config.stop_at_first_violation,
         "budget": config.budget.to_dict() if config.budget is not None else None,
         "watchdog_seconds": config.watchdog_seconds,
+        "backend": config.backend,
+        "model": config.model,
+        "monitor_engine": config.monitor_engine,
+        "dump_traces": config.dump_traces,
     }
 
 
@@ -133,6 +137,10 @@ def config_from_dict(data: dict) -> CheckConfig:
         stop_at_first_violation=data.get("stop_at_first_violation", True),
         budget=ExplorationBudget.from_dict(budget) if budget else None,
         watchdog_seconds=data.get("watchdog_seconds"),
+        backend=data.get("backend", "observations"),
+        model=data.get("model"),
+        monitor_engine=data.get("monitor_engine", "auto"),
+        dump_traces=data.get("dump_traces"),
     )
 
 

@@ -29,14 +29,17 @@ from repro.core.history import History, Profile, SerialHistory
 from repro.core.spec import ObservationSet
 from repro.core.witness import is_witness_for
 
-__all__ = ["Diagnosis", "explain_violation"]
+__all__ = ["Diagnosis", "diagnose_monitor_failure", "explain_violation"]
 
 
 @dataclass
 class Diagnosis:
     """Structured explanation of a witness-search failure."""
 
-    kind: str  #: "ordering-conflict", "response-mismatch" or "blocking"
+    #: "ordering-conflict", "response-mismatch", "blocking" (all three
+    #: against the synthesized spec) or "model-mismatch" (the monitor
+    #: backend: no linearization matches the explicit sequential model).
+    kind: str
     #: per rejected candidate: (candidate, first violated <H pair).
     ordering_conflicts: list[tuple[SerialHistory, Operation, Operation]] = field(
         default_factory=list
@@ -46,6 +49,9 @@ class Diagnosis:
     response_mismatches: list[tuple[Operation, set]] = field(default_factory=list)
     pending_op: Operation | None = None
     notes: list[str] = field(default_factory=list)
+    #: free-form body lines rendered verbatim under the headline (the
+    #: monitor backend's counterexample: deepest prefix + stuck frontier).
+    details: list[str] = field(default_factory=list)
 
     def describe(self) -> str:
         lines: list[str] = []
@@ -59,6 +65,11 @@ class Diagnosis:
                     f"  candidate <{candidate}> places {second} before "
                     f"{first}, yet {first} completed before {second} began"
                 )
+        elif self.kind == "model-mismatch":
+            lines.append(
+                "no linearization of this history is an execution of the "
+                "sequential model:"
+            )
         elif self.kind == "response-mismatch":
             lines.append(
                 "no serial execution produces these responses at all:"
@@ -78,6 +89,7 @@ class Diagnosis:
                 f"operation {self.pending_op} blocked forever, but every "
                 "serial execution reaching this point lets it complete"
             )
+        lines.extend(f"  {detail}" for detail in self.details)
         lines.extend(f"  note: {note}" for note in self.notes)
         return "\n".join(lines)
 
@@ -146,6 +158,37 @@ def explain_violation(
         diagnosis.notes.append(
             "the serial enumeration never even reached this combination "
             "of completed operations (likely it always blocks earlier)"
+        )
+    return diagnosis
+
+
+def diagnose_monitor_failure(verdict, model) -> Diagnosis:
+    """Diagnose a monitor-backend failure (no observation set involved).
+
+    *verdict* is a failed :class:`repro.monitor.dispatch.MonitorVerdict`;
+    the result is a :class:`Diagnosis` rendered by the same report path
+    as the observation-backend diagnoses — one format for both backends.
+    """
+    if verdict.failed_pending is not None:
+        diagnosis = Diagnosis(kind="blocking", pending_op=verdict.failed_pending)
+        diagnosis.details.append(
+            f"the {model.name!r} model has no reachable state in which "
+            f"{verdict.failed_pending.invocation} blocks, so a pending "
+            "call can never be justified"
+        )
+        return diagnosis
+    diagnosis = Diagnosis(kind="model-mismatch")
+    result = verdict.result
+    counterexample = result.counterexample
+    if counterexample is not None:
+        diagnosis.details.extend(counterexample.describe().splitlines())
+    diagnosis.notes.append(
+        f"checked against sequential model {model.name!r} "
+        f"(engine {result.engine}, {result.configurations} configurations)"
+    )
+    if result.cell is not None:
+        diagnosis.notes.append(
+            f"the violation is confined to partition cell {result.cell!r}"
         )
     return diagnosis
 

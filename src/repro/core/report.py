@@ -88,6 +88,15 @@ def render_violation(
     for row in render_timeline(violation.history).splitlines():
         lines.append(f"  {row}")
 
+    if violation.diagnosis is not None:
+        # Monitor-backend violations carry their diagnosis pre-computed
+        # (there is no observation set to examine) — same report shape.
+        lines.append("")
+        lines.append("Diagnosis:")
+        for row in violation.diagnosis.describe().splitlines():
+            lines.append(f"  {row}")
+        return "\n".join(lines)
+
     if observations is not None:
         profile = (
             violation.history.profile

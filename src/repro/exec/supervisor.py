@@ -647,5 +647,16 @@ class WorkerPool:
             "crashes": state.crashes,
             "quarantined_at": time.time(),
         }
+        dump_dir = (spec.config or {}).get("dump_traces")
+        if dump_dir:
+            # The worker was dumping explored histories; the trace path is
+            # a deterministic function of (subject, test), so the report
+            # can reference it without a round-trip to the (dead) worker.
+            # Re-check offline with: lineup monitor TRACE --model NAME.
+            from repro.monitor.trace import default_trace_path
+
+            report["trace_file"] = default_trace_path(
+                dump_dir, f"{spec.class_name}({spec.version})", spec.test
+            )
         atomic_write_text(path, json.dumps(report, indent=2, default=repr))
         return path

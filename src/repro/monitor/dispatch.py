@@ -1,0 +1,105 @@
+"""Engine dispatch: pick the cheapest applicable monitoring algorithm.
+
+``auto`` order, cheapest first:
+
+1. :mod:`repro.monitor.specialized` — closed-form axioms, full
+   unambiguous histories only;
+2. :mod:`repro.monitor.compositional` — per-key partition, when the
+   model is partitionable and the history has no global operations;
+3. :mod:`repro.monitor.wgl` — the general search, always applicable.
+
+:func:`monitor_history` is the complete per-history verdict the checker
+backend and the ``lineup monitor`` subcommand share: the linearization
+check plus, for stuck histories, the blocking justification of every
+pending operation (a pending op must be *allowed* to block — reachable
+model state in which its invocation blocks; see
+:func:`repro.monitor.wgl.check_stuck_history_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.monitor.compositional import compositional_check
+from repro.monitor.models import SequentialModel
+from repro.monitor.specialized import specialized_check, try_specialized
+from repro.monitor.wgl import (
+    MonitorResult,
+    StuckMonitorResult,
+    check_stuck_history_model,
+    wgl_check,
+)
+
+__all__ = ["ENGINES", "MonitorVerdict", "check_history_against_model", "monitor_history"]
+
+#: Engine names accepted by ``--engine`` and the config's ``model`` path.
+ENGINES = ("auto", "wgl", "compositional", "specialized")
+
+
+def check_history_against_model(
+    history: History,
+    model: SequentialModel,
+    *,
+    engine: str = "auto",
+    max_configurations: int | None = None,
+) -> MonitorResult:
+    """The linearization half of the verdict, via the chosen engine."""
+    if engine == "wgl":
+        return wgl_check(history, model, max_configurations=max_configurations)
+    if engine == "compositional":
+        return compositional_check(
+            history, model, max_configurations=max_configurations
+        )
+    if engine == "specialized":
+        return specialized_check(
+            history, model, max_configurations=max_configurations
+        )
+    if engine == "auto":
+        result = try_specialized(history, model)
+        if result is not None:
+            return result
+        return compositional_check(
+            history, model, max_configurations=max_configurations
+        )
+    raise ValueError(
+        f"unknown monitor engine {engine!r} (choose from {', '.join(ENGINES)})"
+    )
+
+
+@dataclass(frozen=True)
+class MonitorVerdict:
+    """Complete verdict of one history: linearization + blocking."""
+
+    result: MonitorResult
+    #: blocking justification, run only for stuck histories.
+    stuck: StuckMonitorResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok and (self.stuck is None or self.stuck.ok)
+
+    @property
+    def failed_pending(self) -> "Operation | None":
+        """The unjustified pending operation, when blocking failed."""
+        return self.stuck.failed if self.stuck is not None else None
+
+
+def monitor_history(
+    history: History,
+    model: SequentialModel,
+    *,
+    engine: str = "auto",
+    max_configurations: int | None = None,
+) -> MonitorVerdict:
+    """Check one history end to end against *model*."""
+    result = check_history_against_model(
+        history, model, engine=engine, max_configurations=max_configurations
+    )
+    stuck: StuckMonitorResult | None = None
+    if result.ok and history.stuck:
+        stuck = check_stuck_history_model(
+            history, model, max_configurations=max_configurations
+        )
+    return MonitorVerdict(result=result, stuck=stuck)

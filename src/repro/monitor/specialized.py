@@ -1,0 +1,399 @@
+"""Log-linear decrease-and-conquer checkers for unambiguous histories.
+
+For the common benign case — a *full* history whose operations pin down
+the abstract state transitions unambiguously — linearizability has
+closed-form characterizations that need no search at all (Lee & Mathur,
+*Efficient Decrease-and-Conquer Linearizability Monitoring*; the queue
+axioms go back to Abdulla et al.).  This module implements them:
+
+* **Queue** (``Enqueue``/``TryDequeue``, distinct values, no empty
+  dequeues): linearizable iff (a) every dequeued value was enqueued
+  exactly once and dequeued at most once, (b) no dequeue of ``v``
+  completes before the enqueue of ``v`` begins, and (c) FIFO — whenever
+  ``enq(v) <H enq(w)`` and ``w`` is dequeued, ``v`` is dequeued too and
+  ``deq(w)`` does not complete before ``deq(v)`` begins.  Checked in
+  O(n log n) with a sort and one running maximum.
+
+* **Register** (``Write``/``Read``, distinct written values): cluster
+  each write with the reads that return its value; the history is
+  linearizable iff no read completes before its own write begins and the
+  clusters admit a topological order under the interval-induced
+  precedence (cluster C must precede D when any op of C precedes any op
+  of D) — found greedily in O(n log n) because the edge relation only
+  depends on each cluster's earliest return and latest call.
+
+* **Set** / **dict**: the decrease step is the per-key partition of
+  :mod:`repro.monitor.compositional`; each cell's responses determine
+  its boolean/per-key state transitions, so the per-cell WGL search is
+  effectively linear.  Dispatching here simply delegates to the
+  compositional checker.
+
+Every checker is *sound both ways* within its applicability guard:
+``try_specialized`` returns None when the guard fails (pending
+operations, repeated values, empty-dequeue responses, foreign methods…)
+and the caller falls back to the general WGL search.  A specialized FAIL
+re-runs a bounded WGL pass purely to extract the standard
+counterexample; if that search is too large, the axiom violation is
+reported on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.events import Operation
+from repro.core.history import History
+from repro.monitor.models import SequentialModel
+from repro.monitor.wgl import (
+    MonitorCounterexample,
+    MonitorLimitError,
+    MonitorResult,
+    wgl_check,
+)
+
+__all__ = ["specialized_check", "try_specialized"]
+
+#: Configuration cap for the WGL re-run that decorates a specialized FAIL
+#: with the standard deepest-prefix counterexample.
+_EXPLAIN_CAP = 20_000
+
+
+def _fail(
+    history: History,
+    model: SequentialModel,
+    reason: str,
+) -> MonitorResult:
+    """A specialized FAIL, with the WGL counterexample when affordable."""
+    counterexample = MonitorCounterexample(
+        prefix=(), frontier=(), state=None, reason=reason
+    )
+    try:
+        rerun = wgl_check(history, model, max_configurations=_EXPLAIN_CAP)
+    except MonitorLimitError:
+        rerun = None
+    configurations = 0
+    if rerun is not None and not rerun.ok and rerun.counterexample is not None:
+        configurations = rerun.configurations
+        ce = rerun.counterexample
+        counterexample = MonitorCounterexample(
+            prefix=ce.prefix, frontier=ce.frontier, state=ce.state,
+            reason=reason,
+        )
+    return MonitorResult(
+        ok=False,
+        engine="specialized",
+        configurations=configurations,
+        counterexample=counterexample,
+    )
+
+
+def _ok_result(configurations: int = 0) -> MonitorResult:
+    # Specialized passes prove existence of a witness without materializing
+    # one; the axioms are the proof.
+    return MonitorResult(
+        ok=True, engine="specialized", configurations=configurations
+    )
+
+
+# ---------------------------------------------------------------------------
+# Queue: the distinct-value FIFO axioms.
+
+
+def _try_queue(history: History, model: SequentialModel) -> MonitorResult | None:
+    enqueues: dict[Any, Operation] = {}
+    dequeues: dict[Any, Operation] = {}
+    for op in history.operations:
+        if op.pending or op.response is None or op.response.kind != "ok":
+            return None
+        method = op.invocation.method
+        if method == "Enqueue":
+            try:
+                value = op.invocation.args[0]
+                if value in enqueues:
+                    return None  # repeated value: ambiguous
+                enqueues[value] = op
+            except (IndexError, TypeError):
+                return None  # unhashable or missing value
+        elif method == "TryDequeue":
+            value = op.response.value
+            if value == "Fail":
+                return None  # empty dequeues need the general search
+            try:
+                if value in dequeues:
+                    # The same value dequeued twice can never linearize
+                    # when every value is enqueued at most once.
+                    return _fail(
+                        history,
+                        model,
+                        f"value {value!r} was dequeued twice but can be "
+                        "enqueued at most once",
+                    )
+                dequeues[value] = op
+            except TypeError:
+                return None
+        else:
+            return None  # peeks/counts/… are out of the unambiguous fragment
+
+    # (a) every dequeued value was enqueued.
+    for value, deq in dequeues.items():
+        if value not in enqueues:
+            return _fail(
+                history, model,
+                f"{deq} dequeued value {value!r} which was never enqueued",
+            )
+    # (b) no dequeue completes before its enqueue begins.
+    for value, deq in dequeues.items():
+        enq = enqueues[value]
+        if history.precedes(deq, enq):
+            return _fail(
+                history, model,
+                f"{deq} completed before {enq} began",
+            )
+    # (c) FIFO: walk enqueues in call order, sweeping in every enqueue
+    # whose return strictly precedes the current call (the <H relation),
+    # and keep two running facts about the swept-in set: whether it holds
+    # a never-dequeued value, and the latest dequeue-call position.
+    by_return = sorted(enqueues.values(), key=lambda op: op.return_pos)
+    by_call = sorted(enqueues.values(), key=lambda op: op.call_pos)
+    swept = 0
+    undequeued: Operation | None = None
+    latest_deq: Operation | None = None
+    for enq_w in by_call:
+        while swept < len(by_return) and (
+            by_return[swept].return_pos < enq_w.call_pos
+        ):
+            enq_v = by_return[swept]
+            swept += 1
+            value_v = enq_v.invocation.args[0]
+            deq_v = dequeues.get(value_v)
+            if deq_v is None:
+                undequeued = undequeued or enq_v
+            elif latest_deq is None or deq_v.call_pos > latest_deq.call_pos:
+                latest_deq = deq_v
+        value_w = enq_w.invocation.args[0]
+        deq_w = dequeues.get(value_w)
+        if deq_w is None:
+            continue
+        if undequeued is not None:
+            return _fail(
+                history, model,
+                f"FIFO violated: {undequeued} preceded {enq_w} and "
+                f"{value_w!r} was dequeued, but "
+                f"{undequeued.invocation.args[0]!r} never was",
+            )
+        if latest_deq is not None and history.precedes(deq_w, latest_deq):
+            return _fail(
+                history, model,
+                f"FIFO violated: {deq_w} completed before {latest_deq} "
+                "began, yet its value was enqueued first",
+            )
+    return _ok_result()
+
+
+# ---------------------------------------------------------------------------
+# Register: the distinct-write cluster algorithm.
+
+
+class _Cluster:
+    """One write plus the reads that observed its value (a block)."""
+
+    __slots__ = ("write", "reads", "min_return", "max_call")
+
+    def __init__(self, write: Operation | None) -> None:
+        self.write = write
+        self.reads: list[Operation] = []
+        self.min_return = write.return_pos if write is not None else None
+        self.max_call = write.call_pos if write is not None else None
+
+    def add(self, read: Operation) -> None:
+        self.reads.append(read)
+        if self.min_return is None or read.return_pos < self.min_return:
+            self.min_return = read.return_pos
+        if self.max_call is None or read.call_pos > self.max_call:
+            self.max_call = read.call_pos
+
+
+def _try_register(
+    history: History, model: SequentialModel
+) -> MonitorResult | None:
+    initial = model.initial_state() if hasattr(model, "initial_state") else None
+    writes: dict[Any, Operation] = {}
+    reads: list[Operation] = []
+    for op in history.operations:
+        if op.pending or op.response is None or op.response.kind != "ok":
+            return None
+        method = op.invocation.method.lower()
+        if method == "write":
+            try:
+                value = op.invocation.args[0]
+                if value in writes or value == initial:
+                    return None  # repeated / initial-colliding writes
+                writes[value] = op
+            except (IndexError, TypeError):
+                return None
+        elif method == "read":
+            reads.append(op)
+        else:
+            return None
+
+    initial_cluster = _Cluster(write=None)
+    clusters: dict[Any, _Cluster] = {
+        value: _Cluster(write) for value, write in writes.items()
+    }
+    for read in reads:
+        value = read.response.value
+        if value == initial:
+            initial_cluster.add(read)
+            continue
+        cluster = clusters.get(value)
+        if cluster is None:
+            return _fail(
+                history, model,
+                f"{read} observed value {value!r} which was never written",
+            )
+        assert cluster.write is not None
+        if history.precedes(read, cluster.write):
+            return _fail(
+                history, model,
+                f"{read} completed before {cluster.write} began",
+            )
+        cluster.add(read)
+
+    # The initial-value cluster, when inhabited, must come first: no other
+    # cluster's operation may precede any initial read.
+    blocks = list(clusters.values())
+    if initial_cluster.reads:
+        min_other = min(
+            (c.min_return for c in blocks if c.min_return is not None),
+            default=None,
+        )
+        if min_other is not None and min_other < initial_cluster.max_call:
+            offending = next(
+                r for r in initial_cluster.reads
+                if any(
+                    c.min_return is not None and c.min_return < r.call_pos
+                    for c in blocks
+                )
+            )
+            return _fail(
+                history, model,
+                f"{offending} observed the initial value after some write "
+                "had already completed",
+            )
+
+    # Greedy topological order of the blocks.  Edge C -> D exists iff some
+    # op of C precedes (<H) some op of D, i.e. min_return(C) < max_call(D);
+    # so D is a source among the remaining blocks iff max_call(D) <= the
+    # minimum min_return over all *other* remaining blocks.  Any source is
+    # safe to emit next (Kahn).  Only three blocks can possibly be a
+    # source each round: the one with the smallest max_call, the one with
+    # the smallest min_return, and (when those coincide) the second
+    # smallest max_call — every other block has a larger max_call against
+    # the same bound.  Two lazy-deletion heaps make each round O(log n).
+    if _order_blocks(blocks) is None:
+        return _fail(
+            history, model,
+            "no linear order of the write blocks is consistent with real "
+            "time (two write blocks each contain an operation that "
+            "completed before an operation of the other began)",
+        )
+    return _ok_result()
+
+
+def _order_blocks(blocks: list[_Cluster]) -> list[_Cluster] | None:
+    """Topologically order *blocks* under the interval precedence, or None.
+
+    Kahn's algorithm specialised to the edge relation
+    ``C -> D iff min_return(C) < max_call(D)``: each round emits a source
+    (a block whose max_call is at most every other block's min_return),
+    which only the candidates described above can be.
+    """
+    import heapq
+
+    alive = set(range(len(blocks)))
+    by_minret = [(c.min_return, i) for i, c in enumerate(blocks)]
+    by_maxcall = [(c.max_call, i) for i, c in enumerate(blocks)]
+    heapq.heapify(by_minret)
+    heapq.heapify(by_maxcall)
+    order: list[_Cluster] = []
+
+    def _peek(heap: list, skip: int = -1, count: int = 1) -> list[int]:
+        """Top *count* alive block ids of *heap* (excluding *skip*)."""
+        popped = []
+        found: list[int] = []
+        while heap and len(found) < count:
+            item = heapq.heappop(heap)
+            popped.append(item)
+            if item[1] in alive and item[1] != skip:
+                found.append(item[1])
+        for item in popped:
+            heapq.heappush(heap, item)
+        return found
+
+    while len(alive) > 1:
+        (a1,) = _peek(by_minret)  # smallest min_return
+        (m2_id,) = _peek(by_minret, skip=a1)
+        m1 = blocks[a1].min_return
+        m2 = blocks[m2_id].min_return
+        source = None
+        for candidate in _peek(by_maxcall, count=2) + [a1]:
+            bound = m2 if candidate == a1 else m1
+            if blocks[candidate].max_call <= bound:
+                source = candidate
+                break
+        if source is None:
+            return None
+        alive.discard(source)
+        order.append(blocks[source])
+    order.extend(blocks[i] for i in alive)
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Dispatch.
+
+
+def try_specialized(
+    history: History, model: SequentialModel
+) -> MonitorResult | None:
+    """Run the specialized checker for *model* if one applies, else None.
+
+    Only full, non-stuck histories qualify — pending operations reopen
+    the ambiguity the closed forms rule out.
+    """
+    if history.stuck or any(op.pending for op in history.operations):
+        return None
+    if model.name == "queue":
+        return _try_queue(history, model)
+    if model.name == "register":
+        return _try_register(history, model)
+    if model.partitionable:
+        # The decrease step for sets/dicts is the per-key partition; each
+        # cell's state is tiny, so delegate to the compositional engine.
+        from repro.monitor.compositional import compositional_check
+
+        result = compositional_check(history, model)
+        if result.engine == "compositional":
+            return MonitorResult(
+                ok=result.ok,
+                engine="specialized",
+                configurations=result.configurations,
+                witness=result.witness,
+                counterexample=result.counterexample,
+                cell=result.cell,
+            )
+        return None  # partition refused (global ops) — not specialized
+    return None
+
+
+def specialized_check(
+    history: History,
+    model: SequentialModel,
+    *,
+    max_configurations: int | None = None,
+) -> MonitorResult:
+    """Specialized check with WGL fallback on ambiguity."""
+    result = try_specialized(history, model)
+    if result is not None:
+        return result
+    return wgl_check(history, model, max_configurations=max_configurations)

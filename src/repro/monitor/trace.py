@@ -1,0 +1,283 @@
+"""Versioned JSONL trace files: concurrent histories at rest.
+
+The monitoring engine's input does not have to come from our scheduler —
+a production log, a crash-quarantine artifact, or another tool can all
+supply histories.  This module defines the interchange format:
+
+* **line 1** — the envelope header, following the PR 3 conventions of
+  :mod:`repro.core.observations`: ``{"format": "lineup-trace",
+  "version": 1, "n_threads": N, "subject": ..., "test": ...}`` where
+  ``subject`` is a display name and ``test`` the serialized finite test
+  (both optional).
+* **every further line** — one history: ``{"stuck": bool, "divergent":
+  bool, "events": [...]}`` with call events ``{"e": "c", "t": thread,
+  "i": op_index, "m": method, "a": "<repr of args tuple>"}`` and return
+  events ``{"e": "r", "t": thread, "i": op_index, "k": "ok"|"raised",
+  "v": <value>}``.  Argument tuples and ``ok`` values are serialized
+  with ``repr`` and parsed back with ``ast.literal_eval`` — the same
+  round-trip every other artifact in this repo uses; ``raised`` values
+  are plain exception-name strings.
+
+JSONL + append-only makes the writer crash-safe by construction: each
+``write`` is one line followed by a flush, so a crash can lose at most
+the line being written.  The loader accepts a truncated *final* line for
+exactly that reason (and only the final line — corruption anywhere else
+raises :class:`TraceError`).
+
+:func:`default_trace_path` derives a deterministic filename from the
+subject and test (a content hash), so two cooperating processes — the
+sandboxed worker dumping traces and the supervisor writing the crash
+report that references them — agree on the path without talking.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceFile",
+    "TraceWriter",
+    "default_trace_path",
+    "history_to_record",
+    "load_trace",
+    "record_to_history",
+]
+
+TRACE_FORMAT = "lineup-trace"
+TRACE_VERSION = 1
+
+
+class TraceError(Exception):
+    """A trace file could not be read, parsed, or validated."""
+
+
+def _event_to_obj(event: Event) -> dict:
+    if event.is_call:
+        assert event.invocation is not None
+        obj: dict[str, Any] = {
+            "e": "c",
+            "t": event.thread,
+            "i": event.op_index,
+            "m": event.invocation.method,
+            "a": repr(tuple(event.invocation.args)),
+        }
+        if event.invocation.target is not None:
+            obj["g"] = event.invocation.target
+        return obj
+    assert event.response is not None
+    value = (
+        str(event.response.value)
+        if event.response.kind == "raised"
+        else repr(event.response.value)
+    )
+    return {
+        "e": "r",
+        "t": event.thread,
+        "i": event.op_index,
+        "k": event.response.kind,
+        "v": value,
+    }
+
+
+def _event_from_obj(obj: dict) -> Event:
+    kind = obj["e"]
+    thread = int(obj["t"])
+    op_index = int(obj["i"])
+    if kind == "c":
+        args = ast.literal_eval(obj["a"])
+        return Event.call(
+            thread,
+            op_index,
+            Invocation(obj["m"], tuple(args), obj.get("g")),
+        )
+    if kind == "r":
+        if obj["k"] == "raised":
+            response = Response("raised", obj["v"])
+        else:
+            response = Response("ok", ast.literal_eval(obj["v"]))
+        return Event.ret(thread, op_index, response)
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+def history_to_record(history: History, verdict: str | None = None) -> dict:
+    """One history as a JSON-able trace record."""
+    record: dict[str, Any] = {
+        "events": [_event_to_obj(event) for event in history.events],
+    }
+    if history.stuck:
+        record["stuck"] = True
+    if history.divergent:
+        record["divergent"] = True
+    if verdict is not None:
+        record["verdict"] = verdict
+    return record
+
+
+def record_to_history(record: dict, n_threads: int) -> History:
+    return History(
+        (_event_from_obj(obj) for obj in record["events"]),
+        n_threads=n_threads,
+        stuck=bool(record.get("stuck", False)),
+        divergent=bool(record.get("divergent", False)),
+    )
+
+
+@dataclass
+class TraceFile:
+    """A loaded trace: the header metadata plus the histories, in order."""
+
+    n_threads: int
+    subject: str | None = None
+    test: dict | None = None  #: serialized FiniteTest (checkpoint format)
+    histories: list[History] = field(default_factory=list)
+    #: per-history verdict annotations ("FAIL"/...), None when absent.
+    verdicts: list[str | None] = field(default_factory=list)
+    #: True when the final line was truncated (interrupted writer).
+    truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.histories)
+
+
+class TraceWriter:
+    """Append histories to a JSONL trace file, one flushed line each.
+
+    The header is written on open; ``write`` appends one record.  Usable
+    as a context manager.  Opening an existing path truncates it — a
+    trace describes one (subject, test) run.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        n_threads: int,
+        *,
+        subject: str | None = None,
+        test: dict | None = None,
+    ) -> None:
+        self.path = path
+        self.count = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+        header: dict[str, Any] = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "n_threads": n_threads,
+        }
+        if subject is not None:
+            header["subject"] = subject
+        if test is not None:
+            header["test"] = test
+        self._emit(header)
+
+    def _emit(self, obj: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def write(self, history: History, verdict: str | None = None) -> None:
+        self._emit(history_to_record(history, verdict))
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_trace(path: str) -> TraceFile:
+    """Read a trace file; raises :class:`TraceError` on anything malformed.
+
+    A truncated final line (the writer died mid-record) is tolerated and
+    flagged via ``TraceFile.truncated`` — every complete record before it
+    is returned.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path!r}: {exc}") from exc
+    if not lines:
+        raise TraceError(f"trace file {path!r} is empty (no header)")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace file {path!r} has a corrupt header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"not a trace file: format is {header.get('format')!r} "
+            f"(expected {TRACE_FORMAT!r})"
+            if isinstance(header, dict)
+            else f"trace file {path!r} has a malformed header"
+        )
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise TraceError(
+            f"trace file version {version!r} is not supported "
+            f"(this reader understands version {TRACE_VERSION})"
+        )
+    try:
+        n_threads = int(header["n_threads"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(
+            f"trace file {path!r} header lacks a valid n_threads"
+        ) from exc
+
+    trace = TraceFile(
+        n_threads=n_threads,
+        subject=header.get("subject"),
+        test=header.get("test"),
+    )
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        last = number == len(lines)
+        try:
+            record = json.loads(line)
+            history = record_to_history(record, n_threads)
+        except json.JSONDecodeError:
+            if last:
+                trace.truncated = True
+                break
+            raise TraceError(
+                f"trace file {path!r} line {number} is corrupt"
+            ) from None
+        except (KeyError, TypeError, ValueError, SyntaxError) as exc:
+            raise TraceError(
+                f"trace file {path!r} line {number} is malformed: {exc}"
+            ) from None
+        trace.histories.append(history)
+        trace.verdicts.append(record.get("verdict"))
+    return trace
+
+
+def default_trace_path(directory: str, subject: str, test: dict) -> str:
+    """Deterministic trace path for one (subject, test) pair.
+
+    Both the worker dumping the trace and the supervisor writing the
+    crash report that references it derive the same name from the same
+    inputs: a sanitized subject plus a content hash of the test.
+    """
+    digest = hashlib.sha1(
+        json.dumps({"subject": subject, "test": test}, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in subject)
+    return os.path.join(directory, f"{safe}-{digest}.trace.jsonl")

@@ -1,0 +1,36 @@
+"""Helpers for building synthetic histories in the monitor tests."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History
+
+
+def call(thread: int, op_index: int, method: str, *args: Any) -> Event:
+    return Event.call(thread, op_index, Invocation(method, tuple(args)))
+
+
+def ret(thread: int, op_index: int, value: Any = None) -> Event:
+    return Event.ret(thread, op_index, Response.of(value))
+
+
+def raised(thread: int, op_index: int, name: str) -> Event:
+    return Event.ret(thread, op_index, Response("raised", name))
+
+
+def hist(*events: Event, n: int = 2, stuck: bool = False) -> History:
+    return History(events, n_threads=n, stuck=stuck)
+
+
+def serial_events(*ops: tuple) -> list[Event]:
+    """Expand ``(thread, op_index, method, args..., result)`` tuples into a
+    serial call/return event sequence (the last element is the response)."""
+    events: list[Event] = []
+    for op in ops:
+        thread, op_index, method, *rest = op
+        *args, result = rest
+        events.append(call(thread, op_index, method, *args))
+        events.append(ret(thread, op_index, result))
+    return events

@@ -1,0 +1,174 @@
+"""CLI integration of the monitor backend and the monitor subcommand."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.monitor import TraceWriter, load_trace
+
+from .conftest import call, hist, ret
+
+
+def write_queue_trace(path: str, *, include_violation: bool) -> None:
+    good = hist(
+        call(0, 0, "Enqueue", 1),
+        call(1, 0, "TryDequeue"),
+        ret(0, 0),
+        ret(1, 0, 1),
+    )
+    bad = hist(
+        call(0, 0, "Enqueue", 1), ret(0, 0),
+        call(1, 0, "TryDequeue"), ret(1, 0, "Fail"),
+    )
+    with TraceWriter(path, n_threads=2, subject="ConcurrentQueue(pre)") as writer:
+        writer.write(good)
+        if include_violation:
+            writer.write(bad)
+
+
+class TestMonitorSubcommand:
+    def test_pass(self, tmp_path, capsys):
+        path = str(tmp_path / "q.trace.jsonl")
+        write_queue_trace(path, include_violation=False)
+        assert main(["monitor", path, "--model", "queue"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS (1 ok, 0 violating, 0 exhausted)" in out
+
+    def test_fail_renders_violation(self, tmp_path, capsys):
+        path = str(tmp_path / "q.trace.jsonl")
+        write_queue_trace(path, include_violation=True)
+        assert main(["monitor", path, "--model", "queue"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL (1 ok, 1 violating, 0 exhausted)" in out
+        assert "Diagnosis:" in out
+        assert "sequential model" in out
+
+    def test_verbose_lists_every_history(self, tmp_path, capsys):
+        path = str(tmp_path / "q.trace.jsonl")
+        write_queue_trace(path, include_violation=True)
+        main(["monitor", path, "--model", "queue", "-v"])
+        out = capsys.readouterr().out
+        assert "history 1: OK" in out
+        assert "history 2: FAIL" in out
+
+    def test_unknown_model_is_usage_error(self, tmp_path, capsys):
+        path = str(tmp_path / "q.trace.jsonl")
+        write_queue_trace(path, include_violation=False)
+        assert main(["monitor", path, "--model", "deque"]) == 64
+
+    def test_missing_trace_is_usage_error(self, tmp_path, capsys):
+        assert main(
+            ["monitor", str(tmp_path / "absent.jsonl"), "--model", "queue"]
+        ) == 64
+
+    def test_configuration_cap_gives_exhausted(self, tmp_path, capsys):
+        path = str(tmp_path / "q.trace.jsonl")
+        write_queue_trace(path, include_violation=False)
+        code = main(
+            ["monitor", path, "--model", "queue",
+             "--engine", "wgl", "--max-configurations", "1"]
+        )
+        assert code == 2
+        assert "EXHAUSTED" in capsys.readouterr().out
+
+
+class TestCheckBackendFlag:
+    def test_monitor_backend_skips_phase1(self, capsys):
+        code = main(
+            ["check", "ConcurrentQueue",
+             "--test", "Enqueue(1) | TryDequeue",
+             "--backend", "monitor", "--model", "queue"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "phase 1: 0 serial executions" in out
+
+    def test_model_implies_monitor_backend(self, capsys):
+        code = main(
+            ["check", "ConcurrentQueue",
+             "--test", "Enqueue(1) | TryDequeue", "--model", "queue"]
+        )
+        assert code == 0
+        assert "phase 1: 0 serial executions" in capsys.readouterr().out
+
+    def test_monitor_backend_finds_figure1_bug(self, capsys):
+        code = main(
+            ["check", "ConcurrentQueue", "--version", "pre", "--cause", "D",
+             "--backend", "monitor", "--model", "queue"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "no linearization of this history is an execution" in out
+
+    def test_backend_monitor_requires_model(self, capsys):
+        code = main(
+            ["check", "ConcurrentQueue",
+             "--test", "Enqueue(1) | TryDequeue", "--backend", "monitor"]
+        )
+        assert code == 64
+        assert "--model" in capsys.readouterr().err
+
+    def test_monitor_rejects_checkpoint(self, tmp_path, capsys):
+        code = main(
+            ["check", "ConcurrentQueue",
+             "--test", "Enqueue(1) | TryDequeue",
+             "--model", "queue",
+             "--checkpoint", str(tmp_path / "ck.json")]
+        )
+        assert code == 64
+
+
+class TestDumpTraces:
+    def test_check_dumps_a_reloadable_trace(self, tmp_path, capsys):
+        directory = str(tmp_path / "traces")
+        code = main(
+            ["check", "ConcurrentQueue",
+             "--test", "Enqueue(1) | TryDequeue",
+             "--dump-traces", directory]
+        )
+        assert code == 0
+        files = os.listdir(directory)
+        assert len(files) == 1
+        trace = load_trace(os.path.join(directory, files[0]))
+        assert trace.subject == "ConcurrentQueue(beta)"
+        assert len(trace) > 0
+        assert trace.test is not None
+
+    def test_dumped_trace_monitors_clean_end_to_end(self, tmp_path, capsys):
+        directory = str(tmp_path / "traces")
+        main(
+            ["check", "ConcurrentQueue",
+             "--test", "Enqueue(1) | TryDequeue",
+             "--backend", "monitor", "--model", "queue",
+             "--dump-traces", directory]
+        )
+        capsys.readouterr()
+        (name,) = os.listdir(directory)
+        path = os.path.join(directory, name)
+        assert main(["monitor", path, "--model", "queue"]) == 0
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_failing_history_is_annotated(self, tmp_path, capsys):
+        directory = str(tmp_path / "traces")
+        code = main(
+            ["check", "ConcurrentQueue", "--version", "pre", "--cause", "D",
+             "--backend", "monitor", "--model", "queue",
+             "--dump-traces", directory]
+        )
+        assert code == 1
+        (name,) = os.listdir(directory)
+        trace = load_trace(os.path.join(directory, name))
+        assert "FAIL" in trace.verdicts
+
+    def test_campaign_parser_accepts_dump_traces(self):
+        # Regression: cmd_campaign reads args.dump_traces, so the campaign
+        # subparser must define the option.
+        args = build_parser().parse_args(
+            ["campaign", "ConcurrentQueue", "--dump-traces", "/tmp/t"]
+        )
+        assert args.dump_traces == "/tmp/t"

@@ -1,0 +1,147 @@
+"""P-compositional checking (repro.monitor.compositional)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History
+from repro.monitor import compositional_check, get_model, wgl_check
+from repro.monitor.compositional import partition_history
+
+from .conftest import call, hist, ret
+
+DICT = get_model("dict")
+QUEUE = get_model("queue")
+SET = get_model("set")
+
+
+def per_key_history(n_keys: int = 3) -> History:
+    """One add/get pair per key, all overlapping across keys."""
+    events = []
+    for i in range(n_keys):
+        events.append(call(0, i, "TryAdd", f"k{i}", i))
+        events.append(call(1, i, "TryGetValue", f"k{i}"))
+    for i in range(n_keys):
+        events.append(ret(0, i, True))
+        events.append(ret(1, i, i))
+    return hist(*events, n=2)
+
+
+class TestPartition:
+    def test_per_key_history_splits(self):
+        cells = partition_history(per_key_history(3), DICT)
+        assert cells is not None and set(cells) == {"k0", "k1", "k2"}
+        for sub in cells.values():
+            assert len(sub.operations) == 2
+
+    def test_global_op_refuses_partition(self):
+        history = hist(
+            call(0, 0, "TryAdd", "k", 1), ret(0, 0, True),
+            call(0, 1, "Count"), ret(0, 1, 1),
+        )
+        assert partition_history(history, DICT) is None
+
+    def test_unpartitionable_model_refuses(self):
+        history = hist(call(0, 0, "Enqueue", 1), ret(0, 0))
+        assert partition_history(history, QUEUE) is None
+
+    def test_cell_preserves_relative_order(self):
+        history = hist(
+            call(0, 0, "Insert", 1), ret(0, 0, True),
+            call(1, 0, "Insert", 9), ret(1, 0, True),
+            call(0, 1, "Remove", 1), ret(0, 1, True),
+        )
+        cells = partition_history(history, SET)
+        sub = cells[1]
+        insert, remove = sub.operations
+        assert sub.precedes(insert, remove)
+
+
+class TestCompositionalCheck:
+    def test_passes_and_sums_configurations(self):
+        result = compositional_check(per_key_history(3), DICT)
+        assert result.ok and result.engine == "compositional"
+        assert result.configurations > 0
+
+    def test_failure_names_the_cell(self):
+        history = hist(
+            call(0, 0, "TryAdd", "a", 1), ret(0, 0, True),
+            call(0, 1, "TryGetValue", "a"), ret(0, 1, 2),  # wrong value
+            call(1, 0, "TryAdd", "b", 7), ret(1, 0, True),
+        )
+        result = compositional_check(history, DICT)
+        assert not result.ok
+        assert result.cell == "a"
+        assert result.counterexample is not None
+
+    def test_global_op_falls_back_to_wgl(self):
+        history = hist(
+            call(0, 0, "TryAdd", "k", 1), ret(0, 0, True),
+            call(0, 1, "Count"), ret(0, 1, 1),
+        )
+        result = compositional_check(history, DICT)
+        assert result.ok and result.engine == "wgl"
+
+    def test_beats_whole_history_search_on_disjoint_keys(self):
+        # One thread per key, all operations mutually overlapping, and a
+        # violation in one cell.  Proving the FAIL forces WGL to exhaust
+        # a configuration space that multiplies across keys; the
+        # partition checks one small cell at a time.
+        n_keys = 4
+        events = []
+        for i in range(n_keys):
+            events.append(call(i, 0, "TryAdd", f"k{i}", i))
+        for i in range(n_keys):
+            events.append(ret(i, 0, True))
+        for i in range(n_keys):
+            events.append(call(i, 1, "TryGetValue", f"k{i}"))
+        for i in range(n_keys):
+            # Key k0's read observes a value that was never stored.
+            events.append(ret(i, 1, 99 if i == 0 else i))
+        history = hist(*events, n=n_keys)
+        comp = compositional_check(history, DICT)
+        whole = wgl_check(history, DICT)
+        assert not comp.ok and not whole.ok
+        assert comp.configurations < whole.configurations
+
+
+def random_dict_history(rng: random.Random, n_ops: int = 8) -> History:
+    """A random (possibly non-linearizable) 2-thread per-key history."""
+    keys = ["a", "b"]
+    pending: list[tuple[int, int, str]] = []
+    events: list[Event] = []
+    counters = [0, 0]
+    for _ in range(n_ops * 2):
+        thread = rng.randrange(2)
+        if pending and (rng.random() < 0.5 or counters[thread] >= n_ops):
+            index = rng.randrange(len(pending))
+            t, i, method = pending.pop(index)
+            value = rng.choice([True, False, "Fail", 1, 2])
+            events.append(Event.ret(t, i, Response.of(value)))
+        elif counters[thread] < n_ops:
+            method = rng.choice(["TryAdd", "TryRemove", "TryGetValue", "ContainsKey"])
+            key = rng.choice(keys)
+            args = (key, rng.randrange(3)) if method == "TryAdd" else (key,)
+            events.append(
+                Event.call(thread, counters[thread], Invocation(method, args))
+            )
+            pending.append((thread, counters[thread], method))
+            counters[thread] += 1
+    while pending:
+        t, i, _method = pending.pop()
+        events.append(Event.ret(t, i, Response.of(rng.choice([True, False, "Fail"]))))
+    return History(events, n_threads=2)
+
+
+class TestAgreementWithWgl:
+    def test_compositional_equals_wgl_on_random_histories(self):
+        rng = random.Random(7)
+        checked = 0
+        for _ in range(150):
+            history = random_dict_history(rng)
+            comp = compositional_check(history, DICT)
+            whole = wgl_check(history, DICT)
+            assert comp.ok == whole.ok, str(history)
+            checked += 1
+        assert checked == 150

@@ -1,0 +1,144 @@
+"""Cross-validation: the monitor agrees with the observation backend.
+
+For subjects whose *serial* behaviour matches an explicit model, the two
+backends decide the same predicate on full histories: phase 1 enumerates
+every serial execution of the test, so a linearization accepted by the
+model is a serial history the observation set contains, and vice versa.
+Hence ``check_full_history`` (Definition 1 against the synthesized spec)
+must agree with :func:`repro.monitor.monitor_history` on every explored
+concurrent history — including the buggy ``pre`` versions, whose serial
+behaviour is still correct.
+
+The suite drives ≥ 200 concurrent histories of ``ConcurrentQueue`` and
+``ConcurrentDictionary`` through both and, on small histories, also the
+O(n!) ``brute_force_full_witness`` reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FiniteTest, Invocation, SystemUnderTest, TestHarness
+from repro.core.witness import brute_force_full_witness, check_full_history
+from repro.monitor import get_model, monitor_history
+from repro.runtime import DFSStrategy
+from repro.structures.registry import get_class
+
+#: (registry class, model, invocation alphabet) for the cross-validation.
+SUBJECTS = {
+    "queue": (
+        "ConcurrentQueue",
+        [
+            Invocation("Enqueue", (1,)),
+            Invocation("Enqueue", (2,)),
+            Invocation("TryDequeue"),
+            Invocation("TryPeek"),
+            Invocation("IsEmpty"),
+        ],
+    ),
+    "dict": (
+        "ConcurrentDictionary",
+        [
+            Invocation("TryAdd", ("k", 1)),
+            Invocation("TryAdd", ("j", 2)),
+            Invocation("TryRemove", ("k",)),
+            Invocation("TryGetValue", ("k",)),
+            Invocation("ContainsKey", ("j",)),
+        ],
+    ),
+}
+
+
+def random_tests(model_name: str, seed: int, count: int):
+    """Small random 2-thread tests over the subject's alphabet."""
+    _cls, alphabet = SUBJECTS[model_name]
+    rng = random.Random(seed)
+    tests = []
+    for _ in range(count):
+        columns = [
+            [rng.choice(alphabet) for _ in range(rng.randint(1, 2))]
+            for _ in range(2)
+        ]
+        tests.append(FiniteTest.of(columns))
+    return tests
+
+
+def explored_histories(scheduler, model_name: str, version: str, test):
+    """Phase-1 observations plus every phase-2 history of *test*."""
+    cls, _alphabet = SUBJECTS[model_name]
+    entry = get_class(cls)
+    subject = SystemUnderTest(entry.factory(version), f"{cls}({version})")
+    with TestHarness(subject, scheduler=scheduler) as harness:
+        observations, _stats = harness.run_serial(test)
+        histories = [
+            history
+            for history, _outcome in harness.explore_concurrent(
+                test, DFSStrategy(preemption_bound=2), max_executions=150
+            )
+        ]
+    return observations, histories
+
+
+@pytest.mark.parametrize("model_name", ["queue", "dict"])
+@pytest.mark.parametrize("version", ["beta", "pre"])
+def test_monitor_agrees_with_witness_search(scheduler, model_name, version):
+    model = get_model(model_name)
+    checked = 0
+    disagreements = []
+    seed = sum(map(ord, model_name + version))  # stable across processes
+    for test in random_tests(model_name, seed=seed, count=3):
+        observations, histories = explored_histories(
+            scheduler, model_name, version, test
+        )
+        for history in histories:
+            if history.stuck:
+                continue  # blocking semantics differ by construction, below
+            witness_ok = check_full_history(history, observations) is not None
+            monitor_ok = monitor_history(history, model).ok
+            if witness_ok != monitor_ok:
+                disagreements.append((test, history, witness_ok, monitor_ok))
+            checked += 1
+    assert not disagreements, disagreements[0]
+    assert checked >= 50  # × 4 parametrizations ⇒ ≥ 200 histories overall
+
+
+@pytest.mark.parametrize("model_name", ["queue", "dict"])
+def test_monitor_agrees_with_brute_force(scheduler, model_name):
+    """On tiny histories, also cross-check the O(n!) reference search."""
+    model = get_model(model_name)
+    checked = 0
+    for test in random_tests(model_name, seed=99, count=3):
+        observations, histories = explored_histories(
+            scheduler, model_name, "beta", test
+        )
+        for history in histories:
+            if history.stuck or len(history.operations) > 5:
+                continue
+            brute_ok = brute_force_full_witness(history, observations) is not None
+            monitor_ok = monitor_history(history, model).ok
+            assert brute_ok == monitor_ok, str(history)
+            checked += 1
+    assert checked >= 20
+
+
+def test_monitor_and_witness_agree_on_figure1_violation(scheduler):
+    """The paper's Figure 1 history FAILs under both backends."""
+    model = get_model("queue")
+    test = FiniteTest.of(
+        [
+            [Invocation("Enqueue", (200,)), Invocation("TryDequeue")],
+            [Invocation("Enqueue", (400,)), Invocation("TryDequeue")],
+        ]
+    )
+    observations, histories = explored_histories(scheduler, "queue", "pre", test)
+    witness_fails = [
+        h
+        for h in histories
+        if not h.stuck and check_full_history(h, observations) is None
+    ]
+    monitor_fails = [
+        h for h in histories if not h.stuck and not monitor_history(h, model).ok
+    ]
+    assert witness_fails and witness_fails == monitor_fails

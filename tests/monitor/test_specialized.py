@@ -1,0 +1,267 @@
+"""Decrease-and-conquer checkers (repro.monitor.specialized).
+
+Each closed-form checker is validated two ways: targeted histories for
+every axiom, and randomized agreement with the general WGL search —
+whenever ``try_specialized`` speaks (returns a verdict rather than
+None), it must say exactly what ``wgl_check`` says.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.events import Event, Invocation, Response
+from repro.core.history import History
+from repro.monitor import get_model, specialized_check, wgl_check
+from repro.monitor.specialized import try_specialized
+
+from .conftest import call, hist, ret
+
+QUEUE = get_model("queue")
+REGISTER = get_model("register")
+SET = get_model("set")
+DICT = get_model("dict")
+
+
+class TestQueueAxioms:
+    def test_correct_concurrent_fifo_passes(self):
+        history = hist(
+            call(0, 0, "Enqueue", 1),
+            call(1, 0, "Enqueue", 2),
+            ret(0, 0), ret(1, 0),
+            call(0, 1, "TryDequeue"),
+            call(1, 1, "TryDequeue"),
+            ret(0, 1, 2), ret(1, 1, 1),
+        )
+        result = try_specialized(history, QUEUE)
+        assert result is not None and result.ok
+        assert result.engine == "specialized"
+
+    def test_never_enqueued_value_fails(self):
+        history = hist(
+            call(0, 0, "Enqueue", 1), ret(0, 0),
+            call(0, 1, "TryDequeue"), ret(0, 1, 9),
+        )
+        result = try_specialized(history, QUEUE)
+        assert result is not None and not result.ok
+        assert "never enqueued" in result.counterexample.reason
+
+    def test_double_dequeue_fails(self):
+        history = hist(
+            call(0, 0, "Enqueue", 1), ret(0, 0),
+            call(0, 1, "TryDequeue"), ret(0, 1, 1),
+            call(0, 2, "TryDequeue"), ret(0, 2, 1),
+        )
+        result = try_specialized(history, QUEUE)
+        assert result is not None and not result.ok
+        assert "dequeued twice" in result.counterexample.reason
+
+    def test_dequeue_before_enqueue_fails(self):
+        history = hist(
+            call(0, 0, "TryDequeue"), ret(0, 0, 1),
+            call(0, 1, "Enqueue", 1), ret(0, 1),
+        )
+        result = try_specialized(history, QUEUE)
+        assert result is not None and not result.ok
+        assert "completed before" in result.counterexample.reason
+
+    def test_fifo_order_violation_fails(self):
+        # enq(1) <H enq(2), 2 dequeued but 1 never: FIFO broken.
+        history = hist(
+            call(0, 0, "Enqueue", 1), ret(0, 0),
+            call(0, 1, "Enqueue", 2), ret(0, 1),
+            call(1, 0, "TryDequeue"), ret(1, 0, 2),
+        )
+        result = try_specialized(history, QUEUE)
+        assert result is not None and not result.ok
+        assert "FIFO" in result.counterexample.reason
+
+    def test_fifo_dequeue_order_violation_fails(self):
+        # Both dequeued, but deq(2) completed before deq(1) began although
+        # enq(1) <H enq(2).
+        history = hist(
+            call(0, 0, "Enqueue", 1), ret(0, 0),
+            call(0, 1, "Enqueue", 2), ret(0, 1),
+            call(0, 2, "TryDequeue"), ret(0, 2, 2),
+            call(0, 3, "TryDequeue"), ret(0, 3, 1),
+        )
+        result = try_specialized(history, QUEUE)
+        assert result is not None and not result.ok
+        assert not wgl_check(history, QUEUE).ok
+
+    def test_guards_defer_to_general_search(self):
+        empty_deq = hist(call(0, 0, "TryDequeue"), ret(0, 0, "Fail"))
+        repeated = hist(
+            call(0, 0, "Enqueue", 1), ret(0, 0),
+            call(0, 1, "Enqueue", 1), ret(0, 1),
+        )
+        peek = hist(call(0, 0, "TryPeek"), ret(0, 0, "Fail"))
+        pending = hist(call(0, 0, "Enqueue", 1), stuck=True)
+        for history in (empty_deq, repeated, peek, pending):
+            assert try_specialized(history, QUEUE) is None
+
+    def test_specialized_check_falls_back_to_wgl(self):
+        history = hist(call(0, 0, "TryDequeue"), ret(0, 0, "Fail"))
+        result = specialized_check(history, QUEUE)
+        assert result.ok and result.engine == "wgl"
+
+
+class TestRegisterClusters:
+    def test_correct_history_passes(self):
+        history = hist(
+            call(0, 0, "Write", 1),
+            call(1, 0, "Read"),
+            ret(0, 0), ret(1, 0, 1),
+            call(0, 1, "Write", 2), ret(0, 1),
+            call(1, 1, "Read"), ret(1, 1, 2),
+        )
+        result = try_specialized(history, REGISTER)
+        assert result is not None and result.ok
+
+    def test_unwritten_value_fails(self):
+        history = hist(call(0, 0, "Read"), ret(0, 0, 42))
+        result = try_specialized(history, REGISTER)
+        assert result is not None and not result.ok
+        assert "never written" in result.counterexample.reason
+
+    def test_read_before_own_write_fails(self):
+        history = hist(
+            call(0, 0, "Read"), ret(0, 0, 1),
+            call(0, 1, "Write", 1), ret(0, 1),
+        )
+        result = try_specialized(history, REGISTER)
+        assert result is not None and not result.ok
+
+    def test_stale_initial_read_fails(self):
+        # A read observes the initial value (None) strictly after Write(1)
+        # completed: the initial cluster can no longer come first.
+        history = hist(
+            call(0, 0, "Write", 1), ret(0, 0),
+            call(1, 0, "Read"), ret(1, 0, None),
+        )
+        result = try_specialized(history, REGISTER)
+        assert result is not None and not result.ok
+        assert "initial value" in result.counterexample.reason
+
+    def test_cluster_order_conflict_fails(self):
+        # Reads pin Write(1)'s block after Write(2)'s, yet Write(1)
+        # completed before Write(2) began — no linear order works.
+        history = hist(
+            call(0, 0, "Write", 1), ret(0, 0),
+            call(0, 1, "Write", 2), ret(0, 1),
+            call(0, 2, "Read"), ret(0, 2, 2),
+            call(0, 3, "Read"), ret(0, 3, 1),
+        )
+        result = try_specialized(history, REGISTER)
+        assert result is not None and not result.ok
+        assert not wgl_check(history, REGISTER).ok
+
+    def test_guard_repeated_write_values(self):
+        history = hist(
+            call(0, 0, "Write", 1), ret(0, 0),
+            call(0, 1, "Write", 1), ret(0, 1),
+        )
+        assert try_specialized(history, REGISTER) is None
+
+
+class TestSetDictDelegation:
+    def test_per_element_set_history_is_specialized(self):
+        history = hist(
+            call(0, 0, "Insert", 1),
+            call(1, 0, "Contains", 1),
+            ret(0, 0, True), ret(1, 0, True),
+        )
+        result = try_specialized(history, SET)
+        assert result is not None and result.ok
+        assert result.engine == "specialized"
+
+    def test_global_op_refuses(self):
+        history = hist(
+            call(0, 0, "Insert", 1), ret(0, 0, True),
+            call(0, 1, "Size"), ret(0, 1, 1),
+        )
+        assert try_specialized(history, SET) is None
+
+    def test_failing_cell_reported(self):
+        history = hist(
+            call(0, 0, "TryAdd", "k", 1), ret(0, 0, True),
+            call(0, 1, "TryGetValue", "k"), ret(0, 1, 5),
+        )
+        result = try_specialized(history, DICT)
+        assert result is not None and not result.ok
+        assert result.cell == "k"
+
+
+def random_queue_history(rng: random.Random, n_values: int = 4) -> History:
+    """Random full 2-thread queue history over distinct values."""
+    scripts = [[], []]
+    values = list(range(n_values))
+    for v in values:
+        scripts[rng.randrange(2)].append(("Enqueue", (v,), None))
+    dequeued = rng.sample(values, k=rng.randrange(n_values + 1))
+    for v in dequeued:
+        # Sometimes return the right value, sometimes a perturbed one.
+        observed = v if rng.random() < 0.7 else rng.choice(values)
+        scripts[rng.randrange(2)].append(("TryDequeue", (), observed))
+    for script in scripts:
+        rng.shuffle(script)
+    return interleave(rng, scripts)
+
+
+def random_register_history(rng: random.Random, n_writes: int = 3) -> History:
+    scripts = [[], []]
+    for v in range(1, n_writes + 1):
+        scripts[rng.randrange(2)].append(("Write", (v,), None))
+    for _ in range(rng.randrange(4)):
+        observed = rng.choice(range(0, n_writes + 1)) or None
+        scripts[rng.randrange(2)].append(("Read", (), observed))
+    for script in scripts:
+        rng.shuffle(script)
+    return interleave(rng, scripts)
+
+
+def interleave(rng: random.Random, scripts) -> History:
+    """Randomly interleave per-thread op scripts into a full history."""
+    events: list[Event] = []
+    pending: list[tuple[int, int, object]] = []
+    counters = [0 for _ in scripts]
+    while any(counters[t] < len(scripts[t]) for t in range(len(scripts))) or pending:
+        if pending and (rng.random() < 0.5 or all(
+            counters[t] >= len(scripts[t]) for t in range(len(scripts))
+        )):
+            t, i, result = pending.pop(rng.randrange(len(pending)))
+            events.append(Event.ret(t, i, Response.of(result)))
+            continue
+        candidates = [t for t in range(len(scripts)) if counters[t] < len(scripts[t])]
+        t = rng.choice(candidates)
+        method, args, result = scripts[t][counters[t]]
+        events.append(Event.call(t, counters[t], Invocation(method, args)))
+        pending.append((t, counters[t], result))
+        counters[t] += 1
+    return History(events, n_threads=len(scripts))
+
+
+class TestRandomizedAgreementWithWgl:
+    def test_queue_axioms_agree_with_search(self):
+        rng = random.Random(11)
+        spoke = 0
+        for _ in range(300):
+            history = random_queue_history(rng)
+            result = try_specialized(history, QUEUE)
+            if result is None:
+                continue
+            spoke += 1
+            assert result.ok == wgl_check(history, QUEUE).ok, str(history)
+        assert spoke >= 150  # the guards must not defer everything
+
+    def test_register_clusters_agree_with_search(self):
+        rng = random.Random(13)
+        spoke = 0
+        for _ in range(300):
+            history = random_register_history(rng)
+            result = try_specialized(history, REGISTER)
+            if result is None:
+                continue
+            spoke += 1
+            assert result.ok == wgl_check(history, REGISTER).ok, str(history)
+        assert spoke >= 150
