@@ -1,0 +1,199 @@
+"""Partial-order reduction head-to-head: none vs sleep sets vs DPOR.
+
+For each subject and preemption bound, phase 2 is explored three times —
+exhaustive DFS, DFS + sleep sets, and DPOR — and three facts are
+recorded per cell: schedules explored, schedules pruned, and wall-clock.
+
+Shape asserted (the soundness contract of ``docs/REDUCTION.md``):
+
+* every strategy yields the *same set of distinct histories* — reduction
+  may never lose a behaviour, only skip equivalent replays of one;
+* ``dpor <= sleep <= none`` in schedules explored, with ``dpor``
+  *strictly* fewer than ``none`` wherever independent steps exist (every
+  subject here at bound >= 2, the default check bound; bound 0 leaves no
+  alternatives within budget, and at bound 1 the conservative
+  backtrack-point propagation for bounded search can request every
+  affordable switch).
+
+``python benchmarks/bench_reduction.py --quick`` runs a reduced matrix
+as a CI smoke test (no pytest-benchmark needed); ``--full`` prints the
+RESULTS.md table.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import FiniteTest, Invocation, SystemUnderTest, TestHarness
+from repro.runtime import DFSStrategy, dfs_with_reduction
+from repro.structures.bounded_buffer import BoundedBuffer
+from repro.structures.concurrent_queue import ConcurrentQueue
+from repro.structures.concurrent_stack import ConcurrentStack
+from repro.structures.counters import Counter
+
+
+def inv(method, *args):
+    return Invocation(method, args)
+
+
+#: name -> (factory, test).  Small matrices: every cell must finish an
+#: *exhaustive* bounded DFS, which is the expensive baseline column.
+SUBJECTS = {
+    "Counter": (
+        lambda rt: Counter(rt),
+        FiniteTest.of([[inv("inc"), inv("get")], [inv("inc")]]),
+    ),
+    "BoundedBuffer": (
+        lambda rt: BoundedBuffer(rt, capacity=1),
+        FiniteTest.of([[inv("Put", 1), inv("Put", 2)], [inv("Take")]]),
+    ),
+    "ConcurrentStack": (
+        lambda rt: ConcurrentStack(rt),
+        FiniteTest.of([[inv("Push", 1), inv("TryPop")], [inv("Push", 2)]]),
+    ),
+    "ConcurrentQueue": (
+        lambda rt: ConcurrentQueue(rt),
+        FiniteTest.of([[inv("Enqueue", 1)], [inv("TryDequeue")]]),
+    ),
+}
+
+REDUCTIONS = ("none", "sleep", "dpor")
+
+
+def make_strategy(reduction, bound):
+    if reduction == "none":
+        return DFSStrategy(preemption_bound=bound)
+    return dfs_with_reduction(reduction, preemption_bound=bound)
+
+
+def explore(scheduler, name, bound, reduction):
+    """One cell: distinct histories, schedule count, pruned count, seconds."""
+    factory, test = SUBJECTS[name]
+    strategy = make_strategy(reduction, bound)
+    histories = set()
+    executions = 0
+    t0 = time.perf_counter()
+    with TestHarness(
+        SystemUnderTest(factory, name), scheduler=scheduler
+    ) as harness:
+        for history, _outcome in harness.explore_concurrent(test, strategy):
+            histories.add(history)
+            executions += 1
+    return {
+        "histories": histories,
+        "schedules": executions,
+        "pruned": getattr(strategy, "pruned", 0),
+        "seconds": time.perf_counter() - t0,
+    }
+
+
+def run_matrix(scheduler, subjects, bounds):
+    """Explore every (subject, bound, reduction) cell; verify soundness."""
+    rows = []
+    for name in subjects:
+        for bound in bounds:
+            cells = {r: explore(scheduler, name, bound, r) for r in REDUCTIONS}
+            reference = cells["none"]["histories"]
+            for reduction in ("sleep", "dpor"):
+                assert cells[reduction]["histories"] == reference, (
+                    f"{name} PB={bound}: {reduction} changed the history set"
+                )
+            assert (
+                cells["dpor"]["schedules"]
+                <= cells["sleep"]["schedules"]
+                <= cells["none"]["schedules"]
+            ), f"{name} PB={bound}: reduction explored more than baseline"
+            if bound is None or bound >= 2:
+                assert cells["dpor"]["schedules"] < cells["none"]["schedules"], (
+                    f"{name} PB={bound}: DPOR found nothing to prune"
+                )
+            rows.append((name, bound, cells))
+    return rows
+
+
+def print_table(rows):
+    print(
+        f"\n{'subject':16s} {'PB':>4s} "
+        f"{'none':>7s} {'sleep':>7s} {'dpor':>7s} {'classes':>8s} "
+        f"{'none ms':>8s} {'sleep ms':>9s} {'dpor ms':>8s}"
+    )
+    for name, bound, cells in rows:
+        pb = "inf" if bound is None else str(bound)
+        print(
+            f"{name:16s} {pb:>4s} "
+            f"{cells['none']['schedules']:7d} "
+            f"{cells['sleep']['schedules']:7d} "
+            f"{cells['dpor']['schedules']:7d} "
+            f"{len(cells['none']['histories']):8d} "
+            f"{cells['none']['seconds'] * 1000:8.1f} "
+            f"{cells['sleep']['seconds'] * 1000:9.1f} "
+            f"{cells['dpor']['seconds'] * 1000:8.1f}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points.
+
+
+def test_reduction_matrix_bounded(benchmark, scheduler):
+    from conftest import once
+
+    rows = once(benchmark, run_matrix, scheduler, list(SUBJECTS), [0, 1, 2])
+    print_table(rows)
+
+
+def test_reduction_matrix_unbounded(benchmark, scheduler):
+    from conftest import once
+
+    rows = once(benchmark, run_matrix, scheduler, list(SUBJECTS), [None])
+    print_table(rows)
+    # Unbounded exploration is where independence is richest: DPOR must
+    # cut the counter's schedule count by well over half.
+    counter = next(cells for name, _b, cells in rows if name == "Counter")
+    assert counter["dpor"]["schedules"] * 2 < counter["none"]["schedules"]
+
+
+# ---------------------------------------------------------------------------
+# Stand-alone smoke mode for CI (no pytest, no benchmark plugin).
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.runtime import Scheduler
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced matrix: a fast CI smoke test",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="the full RESULTS.md matrix (bounds 0-2 and unbounded)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        subjects = ["Counter", "ConcurrentQueue"]
+        bounds = [1, 2]
+    else:
+        subjects = list(SUBJECTS)
+        bounds = [0, 1, 2, None]
+
+    scheduler = Scheduler()
+    try:
+        rows = run_matrix(scheduler, subjects, bounds)
+    finally:
+        scheduler.shutdown()
+    print_table(rows)
+    print(
+        "\nsmoke PASS: identical history sets; "
+        "dpor <= sleep <= none schedules everywhere"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -47,27 +47,32 @@ class LockOrderAnalyzer:
     """Accumulates acquire/release events across many executions."""
 
     def __init__(self) -> None:
-        #: edges between lock location ids, with a representative name.
+        #: edges between lock instance uids, with a representative name.
+        #: Keying on ``uid`` rather than ``location`` matters because the
+        #: analyzer accumulates across executions: location ids restart
+        #: per execution, so two distinct lock instances from different
+        #: executions may share a location but never a uid.
         self._edges: dict[int, set[int]] = {}
         self._names: dict[int, str] = {}
 
     def feed_execution(self, accesses: Iterable) -> None:
         """Process one execution's access log."""
-        held: dict[int, list[int]] = {}  # thread -> stack of lock locations
+        held: dict[int, list[int]] = {}  # thread -> stack of lock uids
         for record in accesses:
             if not isinstance(record, AccessRecord):
                 continue
+            lock = record.uid or record.location
             if record.kind == "acquire":
-                self._names[record.location] = record.name
+                self._names[lock] = record.name
                 stack = held.setdefault(record.thread, [])
                 for outer in stack:
-                    if outer != record.location:
-                        self._edges.setdefault(outer, set()).add(record.location)
-                stack.append(record.location)
+                    if outer != lock:
+                        self._edges.setdefault(outer, set()).add(lock)
+                stack.append(lock)
             elif record.kind == "release":
                 stack = held.get(record.thread, [])
-                if record.location in stack:
-                    stack.remove(record.location)
+                if lock in stack:
+                    stack.remove(lock)
 
     def report(self) -> LockOrderReport:
         """Check the accumulated graph for a cycle."""

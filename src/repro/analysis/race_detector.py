@@ -68,19 +68,23 @@ class RaceDetector:
         """Process one access record (in execution order)."""
         thread = access.thread
         vc = self._vc(thread)
+        # Key on the instance uid where available: location ids restart
+        # per execution, so a shared (pre-allocated) instance can collide
+        # with a factory-allocated one in the same log.
+        key = access.uid or access.location
         if access.volatile:
             # Synchronization access: acquire joins the location's clock,
             # release publishes ours.  Reads acquire; writes (and lock
             # releases) release; CAS and lock acquires do both.
-            loc_vc = self._sync_vc.get(access.location)
+            loc_vc = self._sync_vc.get(key)
             if access.kind in ("read", "cas-fail", "acquire", "cas-ok") and loc_vc:
                 vc = vc.join(loc_vc)
             if access.kind in ("write", "cas-ok", "release"):
-                self._sync_vc[access.location] = vc.copy()
+                self._sync_vc[key] = vc.copy()
             self._thread_vc[thread] = vc.tick(thread)
             return
         # Plain access: check against conflicting unordered past accesses.
-        past = self._history.setdefault(access.location, [])
+        past = self._history.setdefault(key, [])
         for previous, prev_vc in past:
             if previous.thread == thread:
                 continue

@@ -54,7 +54,9 @@ class SerializabilityReport:
 
 
 def _conflicts(a: AccessRecord, b: AccessRecord) -> bool:
-    if a.location != b.location:
+    # uid disambiguates instances whose per-execution location ids
+    # collide (shared pre-allocated vs factory-allocated cells).
+    if (a.uid or a.location) != (b.uid or b.location):
         return False
     writes = ("write", "cas-ok", "acquire", "release")
     return a.kind in writes or b.kind in writes

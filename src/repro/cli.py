@@ -215,6 +215,11 @@ def _config_from_args(args: argparse.Namespace) -> CheckConfig:
     if model is not None and backend == "observations":
         # A model without an explicit backend means the monitor backend.
         backend = "monitor"
+    reduction = getattr(args, "reduction", "none")
+    if reduction != "none" and args.strategy not in ("dfs", "iterative"):
+        raise CliError(
+            f"--reduction {reduction} requires --strategy dfs or iterative"
+        )
     return CheckConfig(
         preemption_bound=None if args.preemption_bound < 0 else args.preemption_bound,
         phase2_strategy=args.strategy,
@@ -227,6 +232,7 @@ def _config_from_args(args: argparse.Namespace) -> CheckConfig:
         model=model,
         monitor_engine=getattr(args, "engine", "auto"),
         dump_traces=getattr(args, "dump_traces", None),
+        reduction=reduction,
     )
 
 
@@ -322,6 +328,7 @@ def _add_check_options(parser: argparse.ArgumentParser) -> None:
         "--max-executions", type=int, default=20_000, metavar="N",
         help="phase-2 execution cap (default: 20000)",
     )
+    _add_reduction_option(parser)
     parser.add_argument(
         "--backend", choices=("observations", "monitor"), default="observations",
         help="phase-2 verification backend: 'observations' checks against "
@@ -341,6 +348,15 @@ def _add_check_options(parser: argparse.ArgumentParser) -> None:
     )
     _add_trace_dump_option(parser)
     _add_provider_option(parser)
+
+
+def _add_reduction_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reduction", choices=("none", "sleep", "dpor"), default="none",
+        help="phase-2 partial-order reduction: prune schedules equivalent "
+             "to explored ones (sleep sets or DPOR; requires a DFS-family "
+             "strategy; verdicts and history sets are unchanged)",
+    )
 
 
 def _add_trace_dump_option(parser: argparse.ArgumentParser) -> None:
@@ -438,9 +454,11 @@ def cmd_check(args: argparse.Namespace) -> int:
     subject = SystemUnderTest(
         entry.factory(args.version), f"{entry.name}({args.version})"
     )
-    print(f"Checking {entry.name}({args.version}) on:")
-    print(test.render_matrix())
-    print()
+    if not getattr(args, "json", False):
+        # Keep --json output a single parseable document.
+        print(f"Checking {entry.name}({args.version}) on:")
+        print(test.render_matrix())
+        print()
     if args.relaxed:
         if args.checkpoint or args.deadline:
             raise CliError(
@@ -465,13 +483,23 @@ def cmd_check(args: argparse.Namespace) -> int:
         extra={"subject": {"cls": entry.name, "version": args.version}},
     )
     if result.failed and args.minimize:
-        print("minimizing the failing test ...")
+        quiet = getattr(args, "json", False)
+        if not quiet:
+            print("minimizing the failing test ...")
         minimized, result = minimize_failing_test(
             subject, test, config=config
         )
-        print(f"minimal failing dimension: {minimized.dimension}")
-        print()
-    print(render_check_result(result))
+        if not quiet:
+            print(f"minimal failing dimension: {minimized.dimension}")
+            print()
+    if getattr(args, "json", False):
+        import json as _json
+
+        from repro.core.report import check_result_to_dict
+
+        print(_json.dumps(check_result_to_dict(result), indent=2))
+    else:
+        print(render_check_result(result))
     return code
 
 
@@ -540,7 +568,12 @@ def _run_campaign_plan(
         ExplorationBudget(deadline_seconds=deadline) if deadline else None
     )
     config = CheckConfig(
-        phase2_strategy="random",
+        # Reductions need the deterministic DFS frontier; the unreduced
+        # campaign default stays random sampling of `schedules` walks.
+        phase2_strategy=(
+            "dfs" if params.get("reduction", "none") != "none" else "random"
+        ),
+        reduction=params.get("reduction", "none"),
         phase2_executions=params["schedules"],
         seed=params["seed"],
         max_serial_executions=2000,
@@ -702,7 +735,10 @@ def _run_campaign_plan_isolated(
         ExplorationBudget(deadline_seconds=deadline) if deadline else None
     )
     config = CheckConfig(
-        phase2_strategy="random",
+        phase2_strategy=(
+            "dfs" if params.get("reduction", "none") != "none" else "random"
+        ),
+        reduction=params.get("reduction", "none"),
         phase2_executions=params["schedules"],
         seed=params["seed"],
         max_serial_executions=2000,
@@ -849,6 +885,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "report_dir": args.report_dir,
         "provider": args.provider,
         "dump_traces": args.dump_traces,
+        "reduction": args.reduction,
     }
     if args.isolate:
         return _run_campaign_plan_isolated(plan, params, args.checkpoint, [])
@@ -1165,6 +1202,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="Section 6 extension: tolerate nondeterministic specs and the "
              "class's documented interference behaviours",
     )
+    p_check.add_argument(
+        "--json", action="store_true",
+        help="print the result summary as JSON instead of the text report",
+    )
     _add_check_options(p_check)
     _add_robustness_options(p_check)
     p_check.set_defaults(func=cmd_check)
@@ -1182,6 +1223,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--cols", type=int, default=3)
     p_campaign.add_argument("--schedules", type=int, default=150)
     p_campaign.add_argument("--seed", type=int, default=0)
+    _add_reduction_option(p_campaign)
     _add_provider_option(p_campaign)
     _add_isolation_options(p_campaign)
     _add_robustness_options(p_campaign)

@@ -64,6 +64,10 @@ class TestSummary:
     attempts: int = 1
     #: path of the crash-report artifact for a quarantined (CRASHED) test.
     crash_report: str | None = None
+    #: phase-2 reduction statistics (see :class:`CheckResult`).
+    schedules_explored: int = 0
+    equivalence_classes: int = 0
+    schedules_pruned: int = 0
 
     @classmethod
     def from_result(cls, result: CheckResult) -> "TestSummary":
@@ -74,6 +78,9 @@ class TestSummary:
             phase1_seconds=result.phase1_seconds,
             total_seconds=result.phase1_seconds + result.phase2_seconds,
             exhausted_reason=result.exhausted_reason,
+            schedules_explored=result.schedules_explored,
+            equivalence_classes=result.equivalence_classes,
+            schedules_pruned=result.schedules_pruned,
         )
 
     def to_dict(self) -> dict:
@@ -86,6 +93,9 @@ class TestSummary:
             "exhausted_reason": self.exhausted_reason,
             "attempts": self.attempts,
             "crash_report": self.crash_report,
+            "schedules_explored": self.schedules_explored,
+            "equivalence_classes": self.equivalence_classes,
+            "schedules_pruned": self.schedules_pruned,
         }
 
     @classmethod
@@ -99,6 +109,9 @@ class TestSummary:
             exhausted_reason=data.get("exhausted_reason"),
             attempts=int(data.get("attempts", 1)),
             crash_report=data.get("crash_report"),
+            schedules_explored=int(data.get("schedules_explored", 0)),
+            equivalence_classes=int(data.get("equivalence_classes", 0)),
+            schedules_pruned=int(data.get("schedules_pruned", 0)),
         )
 
 
@@ -130,6 +143,12 @@ class CampaignRow:
     #: why the campaign stopped early ("deadline", "executions",
     #: "decisions", "interrupted"), or None when it ran to completion.
     stop_reason: str | None = None
+    #: phase-2 reduction mode the campaign's checks used.
+    reduction: str = "none"
+    #: summed phase-2 reduction statistics over the row's tests.
+    schedules_explored: int = 0
+    equivalence_classes: int = 0
+    schedules_pruned: int = 0
 
 
 def row_to_dict(row: CampaignRow) -> dict:
@@ -163,6 +182,7 @@ def row_from_summaries(
         version=version,
         methods=entry.method_count,
         preemption_bound=config.preemption_bound,
+        reduction=config.reduction,
     )
     fail_times: list[float] = []
     pass_times: list[float] = []
@@ -172,6 +192,9 @@ def row_from_summaries(
         row.histories_max = max(row.histories_max, summary.histories)
         row.phase1_avg_s += summary.phase1_seconds
         row.phase1_max_s = max(row.phase1_max_s, summary.phase1_seconds)
+        row.schedules_explored += summary.schedules_explored
+        row.equivalence_classes += summary.equivalence_classes
+        row.schedules_pruned += summary.schedules_pruned
         if summary.stuck_histories:
             row.stuck_tests += 1
         if summary.verdict == "FAIL":
@@ -422,7 +445,8 @@ def render_table2(rows: list[CampaignRow]) -> str:
         f"{'Class':26s} {'ver':4s} {'causes':8s} {'dim':8s} "
         f"{'hist avg':>8s} {'hist max':>8s} {'p1 avg':>8s} "
         f"{'fail':>4s} {'pass':>4s} {'crash':>5s} "
-        f"{'t-fail':>7s} {'t-pass':>7s} {'PB':>3s}"
+        f"{'t-fail':>7s} {'t-pass':>7s} "
+        f"{'sched':>7s} {'pruned':>7s} {'PB':>3s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -437,6 +461,7 @@ def render_table2(rows: list[CampaignRow]) -> str:
             f"{row.phase1_avg_s * 1000:7.1f}m "
             f"{row.tests_failed:4d} {row.tests_passed:4d} "
             f"{row.tests_crashed:5d} "
-            f"{row.fail_avg_s * 1000:6.1f}m {row.pass_avg_s * 1000:6.1f}m {pb:>3s}"
+            f"{row.fail_avg_s * 1000:6.1f}m {row.pass_avg_s * 1000:6.1f}m "
+            f"{row.schedules_explored:7d} {row.schedules_pruned:7d} {pb:>3s}"
         )
     return "\n".join(lines)

@@ -38,6 +38,7 @@ from repro.runtime import (
     RandomStrategy,
     Scheduler,
     SchedulingStrategy,
+    dfs_with_reduction,
 )
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
@@ -133,13 +134,23 @@ class CheckConfig:
     #: directory to dump every explored concurrent history into as a
     #: JSONL trace file (:mod:`repro.monitor.trace`); None disables.
     dump_traces: str | None = None
+    #: phase-2 schedule-space reduction: ``"none"``, ``"sleep"`` (sleep
+    #: sets) or ``"dpor"`` (dynamic partial-order reduction).  Only the
+    #: DFS-family strategies ("dfs", "iterative") support a reduction;
+    #: phase 1 is never reduced (Theorem 5 needs every serial history).
+    reduction: str = "none"
 
     def make_phase2_strategy(self) -> SchedulingStrategy:
         if self.phase2_strategy == "dfs":
-            return DFSStrategy(preemption_bound=self.preemption_bound)
+            return dfs_with_reduction(self.reduction, self.preemption_bound)
         if self.phase2_strategy == "iterative":
             bound = 2 if self.preemption_bound is None else self.preemption_bound
-            return IterativeDFSStrategy(max_bound=bound)
+            return IterativeDFSStrategy(max_bound=bound, reduction=self.reduction)
+        if self.reduction != "none":
+            raise ValueError(
+                f"reduction {self.reduction!r} requires a DFS-family phase-2 "
+                f"strategy (dfs or iterative), not {self.phase2_strategy!r}"
+            )
         if self.phase2_strategy == "random":
             return RandomStrategy(self.phase2_executions, seed=self.seed)
         if self.phase2_strategy == "pct":
@@ -218,6 +229,17 @@ class CheckResult:
     #: False when phase 2 stopped before its strategy was exhausted
     #: (budget trip, interrupt, or the legacy max_concurrent cap).
     phase2_complete: bool = True
+    #: phase-2 reduction mode the run used ("none", "sleep", "dpor").
+    reduction: str = "none"
+    #: schedules actually executed in phase 2 (== ``phase2_executions``,
+    #: kept separate so reports can show the reduction triple together).
+    schedules_explored: int = 0
+    #: distinct Mazurkiewicz equivalence classes among the explored
+    #: schedules (by canonical happens-before fingerprint).
+    equivalence_classes: int = 0
+    #: schedules the reduction skipped that an unreduced (but equally
+    #: bounded) DFS would have executed; 0 under ``reduction="none"``.
+    schedules_pruned: int = 0
 
     @property
     def passed(self) -> bool:
@@ -404,13 +426,19 @@ def check_with_harness(
 
     # ---- Phase 2: check the concurrent executions against A and B.
     phase2_strategy = None
+    fingerprints = None
     if resume is not None and resume.phase == "phase2":
+        from repro.reduction import FingerprintSet
+
         phase2_strategy = resume.strategy
         result.phase2_executions = int(resume.phase2.get("executions", 0))
         result.phase2_full = int(resume.phase2.get("full", 0))
         result.phase2_stuck = int(resume.phase2.get("stuck", 0))
         result.phase2_divergent = int(resume.phase2.get("divergent", 0))
         result.phase2_seconds = float(resume.phase2.get("seconds", 0.0))
+        fingerprints = FingerprintSet.from_snapshot(
+            resume.phase2.get("fingerprints")
+        )
     _run_phase2(
         harness,
         test,
@@ -420,6 +448,7 @@ def check_with_harness(
         control=control,
         checkpointer=checkpointer,
         strategy=phase2_strategy,
+        fingerprints=fingerprints,
     )
     return result
 
@@ -459,11 +488,17 @@ def _run_phase2(
     control: ExplorationControl | None = None,
     checkpointer: "Checkpointer | None" = None,
     strategy: SchedulingStrategy | None = None,
+    fingerprints: "Any | None" = None,
 ) -> None:
+    from repro.reduction import FingerprintSet, execution_fingerprint
+
     t1 = time.perf_counter()
     seconds_base = result.phase2_seconds
     if strategy is None:
         strategy = cfg.make_phase2_strategy()
+    if fingerprints is None:
+        fingerprints = FingerprintSet()
+    result.reduction = cfg.reduction
     if control is not None:
         control.start()
 
@@ -506,6 +541,7 @@ def _run_phase2(
                 "stuck": result.phase2_stuck,
                 "divergent": result.phase2_divergent,
                 "seconds": seconds_base + time.perf_counter() - t1,
+                "fingerprints": fingerprints.snapshot(),
             },
             budget_snapshot=(
                 control.meter.snapshot()
@@ -520,6 +556,7 @@ def _run_phase2(
             test, strategy, max_executions=remaining
         ):
             result.phase2_executions += 1
+            fingerprints.add(execution_fingerprint(outcome))
             if control is not None:
                 control.note(outcome)
             if history.stuck:
@@ -556,6 +593,9 @@ def _run_phase2(
         if trace_writer is not None:
             trace_writer.close()
     result.phase2_seconds = seconds_base + time.perf_counter() - t1
+    result.schedules_explored = result.phase2_executions
+    result.equivalence_classes = len(fingerprints)
+    result.schedules_pruned = getattr(strategy, "pruned", 0)
     if halted is not None:
         result.exhausted_reason = halted
         result.phase2_complete = False

@@ -118,6 +118,7 @@ def config_to_dict(config: CheckConfig) -> dict:
         "model": config.model,
         "monitor_engine": config.monitor_engine,
         "dump_traces": config.dump_traces,
+        "reduction": config.reduction,
     }
 
 
@@ -141,6 +142,7 @@ def config_from_dict(data: dict) -> CheckConfig:
         model=data.get("model"),
         monitor_engine=data.get("monitor_engine", "auto"),
         dump_traces=data.get("dump_traces"),
+        reduction=data.get("reduction", "none"),
     )
 
 

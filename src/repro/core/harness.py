@@ -260,6 +260,8 @@ class TestHarness:
         *on_execution* (called as ``on_execution(observations, stats,
         strategy)`` after each execution) is the checkpoint hook.
         """
+        from repro.reduction.fingerprint import FingerprintSet, serial_fingerprint
+
         observations = (
             observations if observations is not None else ObservationSet(test.n_threads)
         )
@@ -272,6 +274,13 @@ class TestHarness:
         remaining = None
         if max_executions is not None:
             remaining = max(0, max_executions - stats.executions)
+        # Cheap pre-filter: different serial schedules of the same test
+        # frequently replay identical event streams; skip rebuilding and
+        # re-inserting those histories.  This deduplicates *identical*
+        # executions only — phase 1 must enumerate every distinct serial
+        # history for the Theorem 5 completeness argument, so no
+        # equivalence-class reduction is applied here.
+        seen = FingerprintSet()
         for outcome in self.scheduler.explore(
             lambda: self._bodies(test),
             strategy,
@@ -281,14 +290,15 @@ class TestHarness:
             stats.executions += 1
             if control is not None:
                 control.note(outcome)
-            history = self.history_from_outcome(outcome, test)
-            if history.divergent:
+            if outcome.divergent:
                 stats.divergent += 1
-            serial = history.to_serial()
-            if observations.add(serial):
-                stats.histories += 1
-                if serial.stuck:
-                    stats.stuck_histories += 1
+            if seen.add(serial_fingerprint((outcome.status, *outcome.events))):
+                history = self.history_from_outcome(outcome, test)
+                serial = history.to_serial()
+                if observations.add(serial):
+                    stats.histories += 1
+                    if serial.stuck:
+                        stats.stuck_histories += 1
             if control is not None:
                 reason = control.halt_reason()
                 if reason is not None:

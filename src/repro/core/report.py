@@ -21,7 +21,7 @@ from repro.core.history import History
 from repro.core.observations import _op_ids_for_profile, history_line
 from repro.core.spec import ObservationSet
 
-__all__ = ["render_check_result", "render_violation"]
+__all__ = ["check_result_to_dict", "render_check_result", "render_violation"]
 
 
 def _thread_label(thread: int) -> str:
@@ -152,6 +152,12 @@ def render_check_result(result: CheckResult) -> str:
             f"({result.phase2_full} full, {result.phase2_stuck} stuck{divergent}), "
             f"{result.phase2_seconds * 1000:.1f} ms"
         ),
+        (
+            f"reduction: {result.reduction} — "
+            f"{result.schedules_explored} schedules explored, "
+            f"{result.equivalence_classes} equivalence classes, "
+            f"{result.schedules_pruned} pruned"
+        ),
     ]
     if result.exhausted_reason is not None:
         what = (
@@ -166,3 +172,37 @@ def render_check_result(result: CheckResult) -> str:
         lines.append("")
         lines.append(render_violation(violation, result.observations))
     return "\n".join(lines)
+
+
+def check_result_to_dict(result: CheckResult) -> dict:
+    """JSON-able summary of a :class:`CheckResult` (machine consumers)."""
+    return {
+        "verdict": result.verdict,
+        "phase1": {
+            "executions": result.phase1.executions,
+            "histories": result.phase1.histories,
+            "stuck_histories": result.phase1.stuck_histories,
+            "divergent": result.phase1.divergent,
+            "seconds": result.phase1_seconds,
+            "complete": result.phase1.complete,
+        },
+        "phase2": {
+            "executions": result.phase2_executions,
+            "full": result.phase2_full,
+            "stuck": result.phase2_stuck,
+            "divergent": result.phase2_divergent,
+            "seconds": result.phase2_seconds,
+            "complete": result.phase2_complete,
+        },
+        "reduction": {
+            "mode": result.reduction,
+            "schedules_explored": result.schedules_explored,
+            "equivalence_classes": result.equivalence_classes,
+            "schedules_pruned": result.schedules_pruned,
+        },
+        "exhausted_reason": result.exhausted_reason,
+        "violations": [
+            {"kind": violation.kind, "description": violation.describe()}
+            for violation in result.violations
+        ],
+    }

@@ -1,0 +1,207 @@
+"""The dependence oracle: which scheduling steps commute?
+
+Schedule-space reduction (sleep sets, DPOR) is only sound relative to a
+*dependence relation*: two steps may be reordered — and one of the two
+orders pruned — exactly when they are independent.  This module derives
+that relation for one :class:`~repro.runtime.scheduler.ExecutionOutcome`
+from two ingredients the runtime already records:
+
+* the ``Decision`` trace, which says which logical thread performed each
+  step (and which threads were enabled, which exposes blocking), and
+* the ``AccessRecord`` stream with per-decision segment attribution
+  (``ExecutionOutcome.accesses_by_decision``), which says what shared
+  locations each step read or wrote.
+
+Two steps *conflict* (are dependent) when they run on different threads
+and touch a common location with at least one write-like access.  Lock
+and atomic operations count as writes on the lock/cell location
+(``acquire``/``release``/``cas-ok``), so mutual exclusion and CAS races
+are never pruned away; a failed CAS (``cas-fail``) is a read.
+
+Three conservative extensions keep the reduction *history-preserving*
+(the observable of a linearizability check is the history — the
+interleaving of call/return events — not the final state):
+
+* steps that record a harness event, and steps taken at *free* decisions
+  (operation boundaries), write the reserved pseudo-location
+  :data:`HISTORY_LOCATION`, making every operation-boundary reordering
+  dependent.  The reduction therefore never merges two executions with
+  different histories; it only prunes intra-operation step placements.
+* a step after which the *enabled set* changed (beyond the performing
+  thread itself blocking) also writes :data:`HISTORY_LOCATION`: blocking
+  predicates peek at shared state without access records, so
+  enable/disable effects are the one dependence the access stream cannot
+  see.
+* every step of a ``divergent`` (watchdog-truncated) execution is marked
+  dependent — its access stream is incomplete, so nothing may be pruned
+  on its account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.vector_clock import VectorClock
+from repro.runtime.scheduler import ExecutionOutcome
+
+__all__ = [
+    "HISTORY_LOCATION",
+    "StepFootprint",
+    "conflicts",
+    "happens_before_clocks",
+    "step_footprints",
+]
+
+#: Reserved pseudo-location for observable (history-affecting) steps.
+#: Real location ids start at 1 (see ``Scheduler.new_location_id``).
+HISTORY_LOCATION = 0
+
+#: Access kinds with write semantics for the conflict relation.  Lock
+#: transitions are writes on the lock location: two acquires (or an
+#: acquire and a release) of the same lock never commute.
+_WRITE_KINDS = frozenset({"write", "cas-ok", "acquire", "release"})
+_READ_KINDS = frozenset({"read", "cas-fail"})
+
+
+@dataclass(frozen=True)
+class StepFootprint:
+    """What one scheduling step (one decision's segment) did.
+
+    ``thread`` is the logical thread that performed the step (None only
+    for degenerate decisions with no performer).  ``reads``/``writes``
+    are the location-id sets touched by the step's access records, with
+    :data:`HISTORY_LOCATION` added to ``writes`` for observable steps.
+    """
+
+    thread: int | None
+    reads: frozenset[int] = field(default_factory=frozenset)
+    writes: frozenset[int] = field(default_factory=frozenset)
+
+    @property
+    def observable(self) -> bool:
+        return HISTORY_LOCATION in self.writes
+
+    def to_json(self) -> list:
+        return [self.thread, sorted(self.reads), sorted(self.writes)]
+
+    @classmethod
+    def from_json(cls, data: list) -> "StepFootprint":
+        thread, reads, writes = data
+        return cls(thread, frozenset(reads), frozenset(writes))
+
+
+def conflicts(a: StepFootprint, b: StepFootprint) -> bool:
+    """Whether two steps are dependent (same-location access, one write).
+
+    Steps of the same thread are ordered by the program anyway; the
+    relation only matters across threads, but same-thread pairs report
+    dependent for safety (callers should not ask).
+    """
+    if a.thread is not None and a.thread == b.thread:
+        return True
+    return bool(
+        (a.writes & b.writes)
+        or (a.writes & b.reads)
+        or (a.reads & b.writes)
+    )
+
+
+def _performer(decision) -> int | None:
+    if decision.kind == "thread":
+        return decision.chosen
+    return decision.running
+
+
+def step_footprints(outcome: ExecutionOutcome) -> list[StepFootprint]:
+    """Per-decision footprints for one execution, index-aligned with
+    ``outcome.decisions``."""
+    n = len(outcome.decisions)
+    reads: list[set[int]] = [set() for _ in range(n)]
+    writes: list[set[int]] = [set() for _ in range(n)]
+    for record, segment in zip(outcome.accesses, outcome.access_segments):
+        if not 0 <= segment < n:
+            continue
+        location = getattr(record, "location", None)
+        if location is None:  # OpMark and friends carry no location
+            continue
+        if record.kind in _WRITE_KINDS:
+            writes[segment].add(location)
+        elif record.kind in _READ_KINDS:
+            reads[segment].add(location)
+        else:  # unknown kinds are conservatively writes
+            writes[segment].add(location)
+
+    # Observable steps: harness events (call/return) happened during them.
+    for segment in outcome.event_segments:
+        if 0 <= segment < n:
+            writes[segment].add(HISTORY_LOCATION)
+
+    truncated = outcome.divergent
+    for index, decision in enumerate(outcome.decisions):
+        if truncated:
+            writes[index].add(HISTORY_LOCATION)
+            continue
+        if decision.free and decision.kind == "thread":
+            # Operation-boundary switch: interleaving whole operations is
+            # exactly what the check observes — never prune it.
+            writes[index].add(HISTORY_LOCATION)
+
+    # Enabled-set deltas: blocking predicates read shared state without
+    # access records, so a step that (un)blocks some *other* thread has a
+    # dependence the access stream cannot show.  Compare each thread
+    # decision's options with the previous one; attribute the delta to
+    # the step in between (the previous decision's step).  The performing
+    # thread leaving the enabled set (it blocked or finished itself) is
+    # its own program order and needs no edge.
+    previous_index: int | None = None
+    for index, decision in enumerate(outcome.decisions):
+        if decision.kind != "thread":
+            continue
+        if previous_index is not None:
+            before = set(outcome.decisions[previous_index].options)
+            after = set(decision.options)
+            performer = _performer(outcome.decisions[previous_index])
+            delta = (before ^ after) - ({performer} if performer is not None else set())
+            if delta:
+                # Any segment between the two thread decisions may have
+                # caused the (un)blocking; mark them all.
+                for segment in range(previous_index, index):
+                    writes[segment].add(HISTORY_LOCATION)
+        previous_index = index
+
+    return [
+        StepFootprint(
+            thread=_performer(decision),
+            reads=frozenset(reads[index] - writes[index]),
+            writes=frozenset(writes[index]),
+        )
+        for index, decision in enumerate(outcome.decisions)
+    ]
+
+
+def happens_before_clocks(
+    outcome: ExecutionOutcome, footprints: list[StepFootprint]
+) -> list[VectorClock]:
+    """Vector clock of each step: program order plus conflict edges.
+
+    ``clocks[i]`` includes step *i* itself (its own component is ticked),
+    so ``clocks[j].happens_before(clocks[i])`` reads "step j happens
+    before step i" whenever ``j != i``.
+    """
+    clocks: list[VectorClock] = []
+    last_of_thread: dict[int, VectorClock] = {}
+    for index, footprint in enumerate(footprints):
+        thread = footprint.thread
+        clock = (
+            last_of_thread.get(thread, VectorClock())
+            if thread is not None
+            else VectorClock()
+        )
+        for j in range(index):
+            if footprints[j].thread != thread and conflicts(footprints[j], footprint):
+                clock = clock.join(clocks[j])
+        if thread is not None:
+            clock = clock.tick(thread)
+            last_of_thread[thread] = clock
+        clocks.append(clock)
+    return clocks

@@ -1,0 +1,153 @@
+"""Execution fingerprints: canonical happens-before hashes.
+
+Two executions are Mazurkiewicz-equivalent (one is a reordering of the
+other's independent steps) exactly when they agree on
+
+* the per-thread projection of their steps (program order), and
+* the orientation of every *dependent* step pair (which of the two
+  conflicting steps came first).
+
+:func:`execution_fingerprint` hashes exactly those two ingredients, so
+equivalent executions — even ones reached through different decision
+sequences — collapse to one digest.  The checker counts the distinct
+digests it saw (``equivalence_classes`` in :class:`CheckResult`), which
+measures how much redundancy a schedule-space exploration contains:
+``schedules_explored / equivalence_classes`` is the average number of
+times each genuinely distinct behaviour was re-examined.
+
+:func:`serial_fingerprint` is the phase-1 variant: a plain digest of the
+event stream, used as a cheap pre-filter that skips rebuilding and
+re-inserting serial histories the observation set already contains.
+Phase 1 must stay *complete* (Theorem 5), so it deduplicates identical
+histories only — never equivalence classes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.reduction.dependence import (
+    StepFootprint,
+    conflicts,
+    step_footprints,
+)
+from repro.runtime.scheduler import ExecutionOutcome
+
+__all__ = [
+    "FingerprintSet",
+    "execution_fingerprint",
+    "serial_fingerprint",
+]
+
+
+def _digest(parts: Iterable[str]) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8", "backslashreplace"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:32]
+
+
+def serial_fingerprint(events: Iterable) -> str:
+    """Digest of a (serial) event stream — identical histories only."""
+    return _digest(repr(event) for event in events)
+
+
+def execution_fingerprint(
+    outcome: ExecutionOutcome,
+    footprints: "list[StepFootprint] | None" = None,
+) -> str:
+    """Canonical digest of one execution's Mazurkiewicz trace class.
+
+    Built from the per-thread access/event projections plus the
+    orientation of every cross-thread conflicting step pair.  The status
+    and pending set are folded in so a stuck execution can never collide
+    with a completed one.
+    """
+    if footprints is None:
+        footprints = step_footprints(outcome)
+    parts: list[str] = [
+        outcome.status,
+        repr(outcome.stuck_kind),
+        repr(outcome.pending_threads),
+    ]
+
+    # Per-thread projections: the sequence of (footprint, payload) each
+    # thread performed, independent of global interleaving.
+    by_thread: dict[int, list[str]] = {}
+    events_by_decision = outcome.events_by_decision()
+    accesses_by_decision = outcome.accesses_by_decision()
+    for index, footprint in enumerate(footprints):
+        thread = footprint.thread
+        if thread is None:
+            continue
+        decision = outcome.decisions[index]
+        value = repr(decision.chosen) if decision.kind == "value" else ""
+        by_thread.setdefault(thread, []).append(
+            "|".join(
+                (
+                    value,
+                    ",".join(map(str, sorted(footprint.reads))),
+                    ",".join(map(str, sorted(footprint.writes))),
+                    ";".join(repr(e) for e in events_by_decision[index]),
+                    ";".join(
+                        f"{getattr(a, 'kind', a)}@{getattr(a, 'location', '')}"
+                        for a in accesses_by_decision[index]
+                    ),
+                )
+            )
+        )
+    for thread in sorted(by_thread):
+        parts.append(f"T{thread}")
+        parts.extend(by_thread[thread])
+
+    # Orientation of dependent pairs, named by per-thread step counters
+    # (canonical across interleavings; global indexes are not).
+    counter: dict[int, int] = {}
+    step_name: list[str] = []
+    for footprint in footprints:
+        thread = footprint.thread
+        if thread is None:
+            step_name.append("?")
+            continue
+        counter[thread] = counter.get(thread, 0) + 1
+        step_name.append(f"{thread}.{counter[thread]}")
+    pairs: list[str] = []
+    for i in range(len(footprints)):
+        for j in range(i + 1, len(footprints)):
+            a, b = footprints[i], footprints[j]
+            if a.thread is None or b.thread is None or a.thread == b.thread:
+                continue
+            if conflicts(a, b):
+                pairs.append(f"{step_name[i]}<{step_name[j]}")
+    parts.append("#conflicts")
+    parts.extend(sorted(pairs))
+    return _digest(parts)
+
+
+class FingerprintSet:
+    """A set of fingerprints with JSON round-trip for checkpoints."""
+
+    def __init__(self, digests: Iterable[str] = ()) -> None:
+        self._digests: set[str] = set(digests)
+
+    def add(self, digest: str) -> bool:
+        """Insert; True when the digest was new."""
+        if digest in self._digests:
+            return False
+        self._digests.add(digest)
+        return True
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._digests
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+    def snapshot(self) -> list[str]:
+        return sorted(self._digests)
+
+    @classmethod
+    def from_snapshot(cls, digests: Iterable[str] | None) -> "FingerprintSet":
+        return cls(digests or ())

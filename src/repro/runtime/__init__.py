@@ -39,6 +39,7 @@ from repro.runtime.strategies import (
     PCTStrategy,
     RandomStrategy,
     ReplayStrategy,
+    dfs_with_reduction,
     strategy_from_snapshot,
 )
 from repro.runtime.watchdog import WatchdogConfig, interrupt_thread
@@ -66,6 +67,7 @@ __all__ = [
     "SharedList",
     "VolatileCell",
     "WatchdogConfig",
+    "dfs_with_reduction",
     "interrupt_thread",
     "strategy_from_snapshot",
     "thread_name",

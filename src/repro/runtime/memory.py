@@ -39,7 +39,11 @@ __all__ = [
     "VolatileCell",
 ]
 
-_location_ids = itertools.count(1)
+#: Process-global instance ids, never reused.  ``location`` restarts per
+#: execution so replayed factories number their cells identically (the
+#: reduction layer matches footprints across executions); analyses that
+#: accumulate over *distinct* instances key on ``uid`` instead.
+_instance_uids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -49,9 +53,10 @@ class AccessRecord:
     stamp: int  #: value of the execution step counter at access time
     thread: int  #: logical thread id performing the access
     kind: str  #: read / write / cas-ok / cas-fail / acquire / release
-    location: int  #: unique id of the accessed cell or lock
+    location: int  #: per-execution-stable id of the accessed cell or lock
     name: str  #: human-readable location name
     volatile: bool  #: whether the access has synchronization semantics
+    uid: int = 0  #: process-unique id of the cell/lock instance
 
     @property
     def is_write(self) -> bool:
@@ -67,7 +72,10 @@ class _Location:
 
     def __init__(self, scheduler: Scheduler, name: str) -> None:
         self._scheduler = scheduler
-        self.location = next(_location_ids)
+        # Scheduler-issued, stable across executions of the same factory
+        # (the id sequence restarts after every execution).
+        self.location = scheduler.new_location_id()
+        self.uid = next(_instance_uids)
         self.name = name
 
     def _record(self, kind: str, volatile: bool) -> None:
@@ -75,7 +83,7 @@ class _Location:
         outcome = sched._outcome  # noqa: SLF001 - runtime-internal fast path
         if outcome is None:
             return
-        outcome.accesses.append(
+        outcome.record_access(
             AccessRecord(
                 stamp=outcome.steps,
                 thread=sched.current_thread(),
@@ -83,6 +91,7 @@ class _Location:
                 location=self.location,
                 name=self.name,
                 volatile=volatile,
+                uid=self.uid,
             )
         )
 

@@ -110,6 +110,13 @@ class ExecutionOutcome:
     decisions: list[Decision] = field(default_factory=list)
     events: list[Any] = field(default_factory=list)
     accesses: list[Any] = field(default_factory=list)
+    #: per entry of ``accesses``/``events``: the index of the decision
+    #: whose step performed it (the *segment*).  The segment attributes
+    #: every observable effect to the scheduling step that produced it,
+    #: which is what the reduction strategies need to derive per-step
+    #: read/write footprints (see :mod:`repro.reduction.dependence`).
+    access_segments: list[int] = field(default_factory=list)
+    event_segments: list[int] = field(default_factory=list)
     steps: int = 0
     #: logical threads that had not finished their body when the execution
     #: got stuck (empty for complete executions).
@@ -117,6 +124,32 @@ class ExecutionOutcome:
     #: (thread id, exception) pairs for bodies that raised out of the
     #: harness; normally empty because the harness captures exceptions.
     crashes: list[tuple[int, BaseException]] = field(default_factory=list)
+
+    def record_access(self, payload: Any) -> None:
+        """Append an access record, attributed to the current segment."""
+        self.accesses.append(payload)
+        self.access_segments.append(len(self.decisions) - 1)
+
+    def record_event(self, payload: Any) -> None:
+        """Append a harness event, attributed to the current segment."""
+        self.events.append(payload)
+        self.event_segments.append(len(self.decisions) - 1)
+
+    def accesses_by_decision(self) -> list[list[Any]]:
+        """Per-step access summary: accesses grouped by decision index."""
+        out: list[list[Any]] = [[] for _ in self.decisions]
+        for payload, segment in zip(self.accesses, self.access_segments):
+            if 0 <= segment < len(out):
+                out[segment].append(payload)
+        return out
+
+    def events_by_decision(self) -> list[list[Any]]:
+        """Per-step event summary: harness events grouped by decision."""
+        out: list[list[Any]] = [[] for _ in self.decisions]
+        for payload, segment in zip(self.events, self.event_segments):
+            if 0 <= segment < len(out):
+                out[segment].append(payload)
+        return out
 
     @property
     def stuck(self) -> bool:
@@ -244,6 +277,9 @@ class Scheduler:
         # Lost increments under concurrent bumps are harmless: the watchdog
         # only cares whether the value *changed*.
         self._progress_ticks = 0
+        # Location ids are issued per execution (reset after each one, so
+        # factory-time allocations for the *next* execution restart at 1).
+        self._location_serial = 0
         # Per-execution state.
         self._active: list[_Worker] = []
         self._strategy = None
@@ -422,12 +458,24 @@ class Scheduler:
     def record_event(self, payload: Any) -> None:
         """Append a harness-level event (call/return) to the execution."""
         outcome = self._current_outcome()
-        outcome.events.append(payload)
+        outcome.record_event(payload)
 
     def record_access(self, payload: Any) -> None:
         """Append a memory-access record for the analysis tools."""
         outcome = self._current_outcome()
-        outcome.accesses.append(payload)
+        outcome.record_access(payload)
+
+    def new_location_id(self) -> int:
+        """Issue the next location id for an instrumented cell or lock.
+
+        Ids restart from 1 after every execution, so a location allocated
+        by a deterministic factory gets the *same* id in every execution
+        (and in every process).  That stability is what lets the
+        reduction layer compare step footprints across executions; a
+        process-global counter would make them incomparable.
+        """
+        self._location_serial += 1
+        return self._location_serial
 
     @property
     def serial_mode(self) -> bool:
@@ -510,6 +558,10 @@ class Scheduler:
         strategy.finish(outcome)
         self._outcome = None
         self._strategy = None
+        # Reset here (not at execute() entry): the bodies factory for the
+        # next execution runs *before* execute() and already allocates
+        # instrumented locations, which must start from 1 again.
+        self._location_serial = 0
         return outcome
 
     def _wrap_body(self, worker: _Worker, body: Callable[[], None]):

@@ -36,6 +36,7 @@ __all__ = [
     "PCTStrategy",
     "RandomStrategy",
     "ReplayStrategy",
+    "dfs_with_reduction",
     "strategy_from_snapshot",
 ]
 
@@ -129,7 +130,7 @@ class DFSStrategy(SchedulingStrategy):
             return node.chosen
         chosen = self._default_choice(kind, options, running)
         preemptions = self._preemptions_at(len(self._stack))
-        node = _Node(kind, options, running, free, chosen, preemptions)
+        node = self._make_node(kind, options, running, free, chosen, preemptions)
         # The default choice never adds a preemption (it continues the
         # running thread whenever that thread is still an option).
         self._stack.append(node)
@@ -140,6 +141,23 @@ class DFSStrategy(SchedulingStrategy):
         self._backtrack()
 
     # -- internals ----------------------------------------------------
+
+    #: node class used for the DFS stack; reduction strategies override
+    #: this with an extended node carrying sleep/backtrack state.
+    node_class = _Node
+    #: snapshot ``type`` tag; reduction strategies override it.
+    snapshot_type = "dfs"
+
+    def _make_node(
+        self,
+        kind: str,
+        options: tuple,
+        running: int | None,
+        free: bool,
+        chosen: Any,
+        preemptions: int,
+    ) -> _Node:
+        return self.node_class(kind, options, running, free, chosen, preemptions)
 
     @staticmethod
     def _default_choice(kind: str, options: tuple, running: int | None) -> Any:
@@ -167,8 +185,12 @@ class DFSStrategy(SchedulingStrategy):
                 node.chosen = alternative
                 node.tried.add(alternative)
                 return
+            self._on_pop(node)
             self._stack.pop()
         self._exhausted = True
+
+    def _on_pop(self, node: _Node) -> None:
+        """Hook: *node* is exhausted and about to leave the stack."""
 
     def _next_alternative(self, node: _Node) -> Any | None:
         budget = self._budget_left(node)
@@ -191,7 +213,7 @@ class DFSStrategy(SchedulingStrategy):
         so the snapshot round-trips through JSON losslessly.
         """
         return {
-            "type": "dfs",
+            "type": self.snapshot_type,
             "preemption_bound": self.preemption_bound,
             "exhausted": self._exhausted,
             "executions": self.executions,
@@ -217,7 +239,9 @@ class DFSStrategy(SchedulingStrategy):
         for kind, options, running, free, chosen, tried, preemptions in snap[
             "stack"
         ]:
-            node = _Node(kind, tuple(options), running, free, chosen, preemptions)
+            node = cls.node_class(
+                kind, tuple(options), running, free, chosen, preemptions
+            )
             node.tried = set(tried)
             strategy._stack.append(node)
         return strategy
@@ -341,20 +365,30 @@ class IterativeDFSStrategy(SchedulingStrategy):
     in exchange for statelessness.
     """
 
-    def __init__(self, max_bound: int = 2) -> None:
+    def __init__(self, max_bound: int = 2, reduction: str = "none") -> None:
         if max_bound < 0:
             raise ValueError("max_bound must be >= 0")
         self.max_bound = max_bound
+        self.reduction = reduction
         self.bound = 0
-        self._inner = DFSStrategy(preemption_bound=0)
+        self._inner = dfs_with_reduction(reduction, preemption_bound=0)
+        self._pruned_done = 0
         self.executions = 0
+
+    @property
+    def pruned(self) -> int:
+        """Schedules pruned by the reduction, across all bounds so far."""
+        return self._pruned_done + getattr(self._inner, "pruned", 0)
 
     def more(self) -> bool:
         while not self._inner.more():
             if self.bound >= self.max_bound:
                 return False
             self.bound += 1
-            self._inner = DFSStrategy(preemption_bound=self.bound)
+            self._pruned_done += getattr(self._inner, "pruned", 0)
+            self._inner = dfs_with_reduction(
+                self.reduction, preemption_bound=self.bound
+            )
         return True
 
     def begin(self) -> None:
@@ -375,17 +409,23 @@ class IterativeDFSStrategy(SchedulingStrategy):
         return {
             "type": "iterative",
             "max_bound": self.max_bound,
+            "reduction": self.reduction,
             "bound": self.bound,
+            "pruned_done": self._pruned_done,
             "executions": self.executions,
             "inner": self._inner.snapshot(),
         }
 
     @classmethod
     def from_snapshot(cls, snap: dict) -> "IterativeDFSStrategy":
-        strategy = cls(max_bound=int(snap["max_bound"]))
+        strategy = cls(
+            max_bound=int(snap["max_bound"]),
+            reduction=snap.get("reduction", "none"),
+        )
         strategy.bound = int(snap["bound"])
+        strategy._pruned_done = int(snap.get("pruned_done", 0))
         strategy.executions = int(snap["executions"])
-        strategy._inner = DFSStrategy.from_snapshot(snap["inner"])
+        strategy._inner = strategy_from_snapshot(snap["inner"])
         return strategy
 
 
@@ -491,7 +531,30 @@ def _rng_state_from_json(rng: random.Random, state: list) -> None:
     rng.setstate((version, tuple(internal), gauss_next))
 
 
+def dfs_with_reduction(
+    reduction: str | None, preemption_bound: int | None
+) -> DFSStrategy:
+    """A DFS-family strategy with the requested partial-order reduction.
+
+    ``reduction`` is ``none``/``None`` (plain DFS), ``sleep`` (sleep
+    sets), or ``dpor`` (dynamic partial-order reduction).  The reduction
+    classes live in :mod:`repro.reduction`, which imports this module, so
+    they are imported lazily here.
+    """
+    if reduction in (None, "none"):
+        return DFSStrategy(preemption_bound=preemption_bound)
+    from repro.reduction import DPORStrategy, SleepSetStrategy
+
+    if reduction == "sleep":
+        return SleepSetStrategy(preemption_bound=preemption_bound)
+    if reduction == "dpor":
+        return DPORStrategy(preemption_bound=preemption_bound)
+    raise ValueError(f"unknown reduction: {reduction!r} (use none, sleep, dpor)")
+
+
 #: Snapshot ``type`` tag -> strategy class, for checkpoint restoration.
+#: The reduction strategies register lazily (they live in a package that
+#: imports this one).
 _SNAPSHOT_TYPES = {
     "dfs": DFSStrategy,
     "iterative": IterativeDFSStrategy,
@@ -501,9 +564,23 @@ _SNAPSHOT_TYPES = {
 
 
 def strategy_from_snapshot(snap: dict) -> SchedulingStrategy:
-    """Rebuild a strategy from a :meth:`snapshot` dict (checkpoint resume)."""
-    try:
-        cls = _SNAPSHOT_TYPES[snap["type"]]
-    except (KeyError, TypeError) as exc:
-        raise ValueError(f"unknown strategy snapshot: {snap!r:.80}") from exc
+    """Rebuild a strategy from a :meth:`snapshot` dict (checkpoint resume).
+
+    Raises :class:`repro.core.checkpoint.CheckpointError` when the
+    snapshot's ``type`` tag is unknown — a checkpoint file written by a
+    different (or newer) build is a *checkpoint* problem, not a
+    programming error.
+    """
+    tag = snap.get("type") if isinstance(snap, dict) else None
+    cls = _SNAPSHOT_TYPES.get(tag)
+    if cls is None and tag in ("sleep", "dpor"):
+        from repro.reduction import DPORStrategy, SleepSetStrategy
+
+        _SNAPSHOT_TYPES.setdefault("sleep", SleepSetStrategy)
+        _SNAPSHOT_TYPES.setdefault("dpor", DPORStrategy)
+        cls = _SNAPSHOT_TYPES[tag]
+    if cls is None:
+        from repro.core.checkpoint import CheckpointError
+
+        raise CheckpointError(f"unknown strategy snapshot: {snap!r:.80}")
     return cls.from_snapshot(snap)

@@ -1,0 +1,163 @@
+"""Dependence oracle: conflicts, step footprints, happens-before clocks."""
+
+from __future__ import annotations
+
+from repro.reduction import (
+    HISTORY_LOCATION,
+    StepFootprint,
+    conflicts,
+    happens_before_clocks,
+    step_footprints,
+)
+from repro.runtime import DFSStrategy
+
+
+def fp(thread, reads=(), writes=()):
+    return StepFootprint(thread=thread, reads=frozenset(reads), writes=frozenset(writes))
+
+
+class TestConflicts:
+    def test_same_thread_always_conflicts(self):
+        # Program order is part of the dependence relation even for
+        # disjoint footprints: steps of one thread are never commuted.
+        assert conflicts(fp(0, reads={1}), fp(0, reads={2}))
+
+    def test_write_write_same_location(self):
+        assert conflicts(fp(0, writes={7}), fp(1, writes={7}))
+
+    def test_write_read_same_location(self):
+        assert conflicts(fp(0, writes={7}), fp(1, reads={7}))
+        assert conflicts(fp(0, reads={7}), fp(1, writes={7}))
+
+    def test_read_read_is_independent(self):
+        assert not conflicts(fp(0, reads={7}), fp(1, reads={7}))
+
+    def test_disjoint_locations_are_independent(self):
+        assert not conflicts(fp(0, writes={1}), fp(1, writes={2}))
+
+    def test_history_location_serializes_event_steps(self):
+        # Steps that record call/return events all write the pseudo
+        # location, making them pairwise dependent — the invariant the
+        # history-preservation argument rests on.
+        a = fp(0, writes={HISTORY_LOCATION})
+        b = fp(1, writes={HISTORY_LOCATION})
+        assert conflicts(a, b)
+
+    def test_footprint_json_roundtrip(self):
+        footprint = fp(2, reads={3, 5}, writes={HISTORY_LOCATION, 4})
+        assert StepFootprint.from_json(footprint.to_json()) == footprint
+
+
+class TestStepFootprints:
+    def _race_outcomes(self, scheduler, runtime):
+        """All outcomes of the classic two-thread lost-update race."""
+
+        def factory():
+            cell = runtime.volatile(0)
+
+            def body():
+                v = cell.get()
+                cell.set(v + 1)
+
+            return [body, body]
+
+        strategy = DFSStrategy(preemption_bound=None)
+        outcomes = []
+        while strategy.more():
+            outcomes.append(scheduler.execute(factory(), strategy))
+        return outcomes
+
+    def test_footprints_attribute_accesses_to_deciders(self, scheduler, runtime):
+        for outcome in self._race_outcomes(scheduler, runtime):
+            footprints = step_footprints(outcome)
+            assert len(footprints) == len(outcome.decisions)
+            # Every access lands in some step, and reads/writes never overlap.
+            reads = set().union(*(f.reads for f in footprints))
+            writes = set().union(*(f.writes for f in footprints))
+            assert writes, "the setters must appear as writes"
+            assert reads - {HISTORY_LOCATION}, "the getters must appear as reads"
+            for f in footprints:
+                assert not (f.reads & f.writes)
+
+    def test_cross_thread_conflict_detected(self, scheduler, runtime):
+        # Both threads write the same cell: some pair of cross-thread
+        # steps must conflict in every execution.
+        for outcome in self._race_outcomes(scheduler, runtime):
+            footprints = step_footprints(outcome)
+            assert any(
+                conflicts(a, b)
+                for i, a in enumerate(footprints)
+                for b in footprints[i + 1 :]
+                if a.thread is not None
+                and b.thread is not None
+                and a.thread != b.thread
+            )
+
+    def test_independent_cells_do_not_conflict(self, scheduler, runtime):
+        # Two threads on two distinct cells: no cross-thread pair may
+        # conflict on real (non-history) locations.
+        def factory():
+            cells = [runtime.volatile(0), runtime.volatile(0)]
+
+            def mk(tid):
+                def body():
+                    cells[tid].set(cells[tid].get() + 1)
+
+                return body
+
+            return [mk(0), mk(1)]
+
+        strategy = DFSStrategy(preemption_bound=None)
+        while strategy.more():
+            outcome = scheduler.execute(factory(), strategy)
+            for f in step_footprints(outcome):
+                for g in step_footprints(outcome):
+                    if f.thread is None or g.thread is None or f.thread == g.thread:
+                        continue
+                    shared = (f.reads | f.writes) & (g.reads | g.writes)
+                    assert shared <= {HISTORY_LOCATION}
+
+
+class TestHappensBefore:
+    def test_program_order_is_in_hb(self, scheduler, runtime):
+        def factory():
+            cell = runtime.volatile(0)
+
+            def body():
+                cell.set(cell.get() + 1)
+
+            return [body, body]
+
+        strategy = DFSStrategy(preemption_bound=None)
+        outcome = scheduler.execute(factory(), strategy)
+        footprints = step_footprints(outcome)
+        clocks = happens_before_clocks(outcome, footprints)
+        by_thread: dict[int, list[int]] = {}
+        for index, f in enumerate(footprints):
+            if f.thread is not None:
+                by_thread.setdefault(f.thread, []).append(index)
+        for indices in by_thread.values():
+            for earlier, later in zip(indices, indices[1:]):
+                assert clocks[earlier].happens_before(clocks[later])
+
+    def test_conflicting_steps_are_hb_ordered(self, scheduler, runtime):
+        def factory():
+            cell = runtime.volatile(0)
+
+            def body():
+                cell.set(cell.get() + 1)
+
+            return [body, body]
+
+        strategy = DFSStrategy(preemption_bound=None)
+        while strategy.more():
+            outcome = scheduler.execute(factory(), strategy)
+            footprints = step_footprints(outcome)
+            clocks = happens_before_clocks(outcome, footprints)
+            for i, a in enumerate(footprints):
+                for j in range(i + 1, len(footprints)):
+                    b = footprints[j]
+                    if a.thread is None or b.thread is None:
+                        continue
+                    if conflicts(a, b):
+                        assert clocks[i].happens_before(clocks[j])

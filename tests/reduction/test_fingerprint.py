@@ -1,0 +1,120 @@
+"""Execution fingerprints: canonical hashes and equivalence classes."""
+
+from __future__ import annotations
+
+import json
+
+from repro.reduction import (
+    FingerprintSet,
+    execution_fingerprint,
+    serial_fingerprint,
+)
+from repro.runtime import DFSStrategy
+
+
+class TestSerialFingerprint:
+    def test_deterministic(self):
+        assert serial_fingerprint(("complete", "a", "b")) == serial_fingerprint(
+            ("complete", "a", "b")
+        )
+
+    def test_distinguishes_events(self):
+        assert serial_fingerprint(("complete", "a")) != serial_fingerprint(
+            ("complete", "b")
+        )
+
+    def test_distinguishes_status(self):
+        assert serial_fingerprint(("complete",)) != serial_fingerprint(("stuck",))
+
+    def test_no_concatenation_collision(self):
+        # The separator must keep ("ab",) apart from ("a", "b").
+        assert serial_fingerprint(("ab",)) != serial_fingerprint(("a", "b"))
+
+
+class TestFingerprintSet:
+    def test_add_reports_novelty(self):
+        s = FingerprintSet()
+        assert s.add("x")
+        assert not s.add("x")
+        assert s.add("y")
+        assert len(s) == 2
+
+    def test_contains(self):
+        s = FingerprintSet()
+        s.add("x")
+        assert "x" in s
+        assert "y" not in s
+
+    def test_snapshot_roundtrip_through_json(self):
+        s = FingerprintSet()
+        s.add("b")
+        s.add("a")
+        restored = FingerprintSet.from_snapshot(json.loads(json.dumps(s.snapshot())))
+        assert len(restored) == 2
+        assert "a" in restored and "b" in restored
+        assert restored.snapshot() == s.snapshot()
+
+    def test_from_snapshot_none_is_empty(self):
+        assert len(FingerprintSet.from_snapshot(None)) == 0
+
+
+class TestExecutionFingerprint:
+    def _explore(self, scheduler, factory):
+        strategy = DFSStrategy(preemption_bound=None)
+        outcomes = []
+        while strategy.more():
+            outcomes.append(scheduler.execute(factory(), strategy))
+        return outcomes
+
+    def test_independent_threads_collapse(self, scheduler, runtime):
+        # Two threads on disjoint cells: interleavings that only reorder
+        # independent accesses share a fingerprint.  (Collapse is not
+        # total — steps adjacent to enabled-set changes such as thread
+        # termination are conservatively treated as dependent.)
+        def factory():
+            cells = [runtime.volatile(0), runtime.volatile(0)]
+
+            def mk(tid):
+                def body():
+                    for _ in range(2):
+                        cells[tid].set(cells[tid].get() + 1)
+
+                return body
+
+            return [mk(0), mk(1)]
+
+        outcomes = self._explore(scheduler, factory)
+        classes = {execution_fingerprint(o) for o in outcomes}
+        assert len(outcomes) > 2 * len(classes)
+
+    def test_conflicting_orders_get_distinct_fingerprints(self, scheduler, runtime):
+        # Both orders of two writes to one cell are inequivalent.
+        def factory():
+            cell = runtime.volatile(0)
+
+            def mk(value):
+                def body():
+                    cell.set(value)
+
+                return body
+
+            return [mk(1), mk(2)]
+
+        outcomes = self._explore(scheduler, factory)
+        fingerprints = {execution_fingerprint(o) for o in outcomes}
+        assert len(fingerprints) >= 2
+
+    def test_fingerprint_is_schedule_independent_within_class(self, scheduler, runtime):
+        # Classes never exceed executions, and the racy program has at
+        # least the write/write and write/read orderings as classes.
+        def factory():
+            cell = runtime.volatile(0)
+
+            def body():
+                cell.set(cell.get() + 1)
+
+            return [body, body]
+
+        outcomes = self._explore(scheduler, factory)
+        fingerprints = {execution_fingerprint(o) for o in outcomes}
+        assert 2 <= len(fingerprints) <= len(outcomes)

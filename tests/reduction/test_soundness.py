@@ -1,0 +1,154 @@
+"""Reduction soundness: sleep sets and DPOR lose no verdicts or histories.
+
+The contract (docs/REDUCTION.md): for any subject and preemption bound,
+exploring with ``--reduction sleep`` or ``--reduction dpor`` must produce
+
+* the exact same set of distinct concurrent histories, and
+* the exact same check verdict (same violation kind on failing subjects)
+
+as exhaustive ``DFSStrategy`` — while exploring no more (and usually far
+fewer) schedules.  These tests enforce that on the paper's structures and
+on a seeded-bug subject from the fault-injection registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CheckConfig,
+    FiniteTest,
+    Invocation,
+    SystemUnderTest,
+    TestHarness,
+    check,
+)
+from repro.exec.faults import ExitingRegister
+from repro.runtime import DFSStrategy, dfs_with_reduction
+from repro.structures.bounded_buffer import BoundedBuffer
+from repro.structures.concurrent_queue import ConcurrentQueue
+from repro.structures.concurrent_stack import ConcurrentStack
+from repro.structures.counters import BuggyCounter1, Counter
+
+
+def inv(method, *args):
+    return Invocation(method, args)
+
+
+#: (name, factory, test) triples shared by the history-set and verdict
+#: suites.  Small matrices keep exhaustive DFS tractable in CI.
+SUBJECTS = [
+    (
+        "counter",
+        lambda rt: Counter(rt),
+        FiniteTest.of([[inv("inc"), inv("get")], [inv("inc")]]),
+    ),
+    (
+        "bounded-buffer",
+        lambda rt: BoundedBuffer(rt, capacity=1),
+        FiniteTest.of([[inv("Put", 1)], [inv("Take")]]),
+    ),
+    (
+        "stack",
+        lambda rt: ConcurrentStack(rt),
+        FiniteTest.of([[inv("Push", 1), inv("TryPop")], [inv("Push", 2)]]),
+    ),
+    (
+        "queue",
+        lambda rt: ConcurrentQueue(rt),
+        FiniteTest.of([[inv("Enqueue", 1)], [inv("TryDequeue")]]),
+    ),
+    (
+        "seeded-bug",
+        lambda rt: ExitingRegister(rt),
+        FiniteTest.of([[inv("Quit"), inv("Get")], [inv("Set", 1)]]),
+    ),
+]
+
+IDS = [name for name, _, _ in SUBJECTS]
+
+
+def explore_histories(scheduler, factory, test, strategy):
+    """Distinct histories and execution count under *strategy*."""
+    histories = set()
+    executions = 0
+    with TestHarness(
+        SystemUnderTest(factory, "subject"), scheduler=scheduler
+    ) as harness:
+        for history, _outcome in harness.explore_concurrent(test, strategy):
+            histories.add(history)
+            executions += 1
+    return histories, executions
+
+
+class TestHistoryPreservation:
+    @pytest.mark.parametrize("name,factory,test", SUBJECTS, ids=IDS)
+    @pytest.mark.parametrize("reduction", ["sleep", "dpor"])
+    @pytest.mark.parametrize("bound", [None, 2])
+    def test_same_distinct_histories_as_exhaustive_dfs(
+        self, scheduler, name, factory, test, reduction, bound
+    ):
+        reference, ref_execs = explore_histories(
+            scheduler, factory, test, DFSStrategy(preemption_bound=bound)
+        )
+        strategy = dfs_with_reduction(reduction, preemption_bound=bound)
+        reduced, red_execs = explore_histories(scheduler, factory, test, strategy)
+        assert reduced == reference
+        assert red_execs <= ref_execs
+
+    @pytest.mark.parametrize("reduction", ["sleep", "dpor"])
+    @pytest.mark.parametrize("bound", [0, 1])
+    def test_low_bounds_with_blocking(self, scheduler, reduction, bound):
+        # Regression: bounded search is not prefix-closed, so a DPOR race
+        # whose reversal needs an unaffordable preemption must propagate
+        # its backtrack request to a budget-legal ancestor (the free
+        # operation boundary).  This subject/bound combination lost a
+        # history before that propagation existed.
+        factory = lambda rt: BoundedBuffer(rt, capacity=1)
+        test = FiniteTest.of([[inv("Put", 1), inv("Put", 2)], [inv("Take")]])
+        reference, _ = explore_histories(
+            scheduler, factory, test, DFSStrategy(preemption_bound=bound)
+        )
+        strategy = dfs_with_reduction(reduction, preemption_bound=bound)
+        reduced, _ = explore_histories(scheduler, factory, test, strategy)
+        assert reduced == reference
+
+    @pytest.mark.parametrize("reduction", ["sleep", "dpor"])
+    def test_reduction_actually_prunes(self, scheduler, reduction):
+        # On the counter (plenty of independent steps) the reduced run
+        # must be strictly smaller, not merely no larger.
+        name, factory, test = SUBJECTS[0]
+        _, ref_execs = explore_histories(
+            scheduler, factory, test, DFSStrategy(preemption_bound=None)
+        )
+        strategy = dfs_with_reduction(reduction, preemption_bound=None)
+        _, red_execs = explore_histories(scheduler, factory, test, strategy)
+        assert red_execs < ref_execs
+        assert strategy.pruned > 0
+
+
+class TestVerdictPreservation:
+    def _verdicts(self, scheduler, factory, test):
+        results = {}
+        for reduction in ("none", "sleep", "dpor"):
+            cfg = CheckConfig(reduction=reduction, stop_at_first_violation=True)
+            results[reduction] = check(
+                SystemUnderTest(factory, "subject"),
+                test,
+                cfg,
+                scheduler=scheduler,
+            )
+        return results
+
+    @pytest.mark.parametrize("name,factory,test", SUBJECTS, ids=IDS)
+    def test_same_verdict_under_every_reduction(self, scheduler, name, factory, test):
+        results = self._verdicts(scheduler, factory, test)
+        verdicts = {r.verdict for r in results.values()}
+        assert len(verdicts) == 1, verdicts
+
+    def test_failing_subject_same_violation_kind(self, scheduler):
+        test = FiniteTest.of([[inv("inc"), inv("get")], [inv("inc")]])
+        results = self._verdicts(scheduler, lambda rt: BuggyCounter1(rt), test)
+        kinds = {r.violation.kind for r in results.values()}
+        assert len(kinds) == 1
+        assert all(r.failed for r in results.values())
