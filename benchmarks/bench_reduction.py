@@ -131,6 +131,39 @@ def print_table(rows):
         )
 
 
+def write_snapshot(rows, path):
+    """Persist the matrix as a perf snapshot (``BENCH_reduction.json``)."""
+    import json
+    import os
+
+    cells_out = []
+    for name, bound, cells in rows:
+        cells_out.append(
+            {
+                "subject": name,
+                "preemption_bound": bound,
+                "classes": len(cells["none"]["histories"]),
+                **{
+                    reduction: {
+                        "schedules": cells[reduction]["schedules"],
+                        "pruned": cells[reduction]["pruned"],
+                        "seconds": cells[reduction]["seconds"],
+                    }
+                    for reduction in REDUCTIONS
+                },
+            }
+        )
+    snapshot = {
+        "benchmark": "reduction",
+        "cpu_count": os.cpu_count(),
+        "rows": cells_out,
+    }
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"snapshot written to {path}")
+
+
 # ---------------------------------------------------------------------------
 # pytest-benchmark entry points.
 
@@ -171,6 +204,10 @@ def main(argv=None) -> int:
         "--full", action="store_true",
         help="the full RESULTS.md matrix (bounds 0-2 and unbounded)",
     )
+    parser.add_argument(
+        "--out", default="BENCH_reduction.json",
+        help="perf snapshot path (default BENCH_reduction.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -186,6 +223,7 @@ def main(argv=None) -> int:
     finally:
         scheduler.shutdown()
     print_table(rows)
+    write_snapshot(rows, args.out)
     print(
         "\nsmoke PASS: identical history sets; "
         "dpor <= sleep <= none schedules everywhere"

@@ -1,0 +1,198 @@
+"""Sharded-exploration benchmark: swarm vs single-process, plus a
+fault-injected smoke mode.
+
+For each shard count the same exhaustive BoundedBuffer check runs once
+single-process (the baseline `check()`) and once sharded across the
+worker pool, asserting the *exact* same verdict, execution count, and
+distinct-history (equivalence-class) count — the correctness half of
+the swarm's contract.  Wall-clock per configuration is recorded to
+``BENCH_swarm.json`` so perf regressions in the dispatch/merge path are
+visible across commits; near-linear speedup is only expected up to the
+machine's core count (on a single-core CI runner the sharded runs
+mostly measure supervision overhead, so no speedup is asserted — the
+snapshot is the artifact).
+
+``--kill-worker`` additionally SIGKILLs one busy worker mid-run and
+asserts the answer still does not move: the CI sharded smoke job runs
+``--quick --kill-worker`` with ``--shards 4 --workers 2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+
+from repro.core import FiniteTest, Invocation
+from repro.core.checker import CheckConfig, check
+from repro.core.harness import SystemUnderTest
+from repro.exec.faults import get_class
+from repro.exec.supervisor import PoolConfig
+from repro.swarm import SwarmConfig, swarm_check
+
+PROVIDER = "repro.exec.faults"
+
+
+def inv(method, *args):
+    return Invocation(method, args)
+
+
+#: name -> (version, test).  Exhaustive trees of increasing size; the
+#: quick matrix must stay CI-cheap, the full one big enough that lease
+#: dispatch amortizes.
+WORKLOADS = {
+    "quick": ("beta", FiniteTest.of([[inv("Put", 1), inv("Take")], [inv("TryTake")]])),
+    "full": ("pre", FiniteTest.of([[inv("Put", 1)], [inv("Take")], [inv("Put", 2)]])),
+}
+
+
+def single_process(version, test, config):
+    entry = get_class("BoundedBuffer")
+    subject = SystemUnderTest(entry.factory(version), f"BoundedBuffer({version})")
+    t0 = time.perf_counter()
+    result = check(subject, test, config)
+    return {
+        "seconds": time.perf_counter() - t0,
+        "verdict": result.verdict,
+        "executions": result.phase2_executions,
+        "classes": result.equivalence_classes,
+    }
+
+
+def _stalker(killed):
+    """An on_event hook that SIGKILLs one busy worker mid-run."""
+
+    def watch(pool):
+        deadline = time.monotonic() + 60.0
+        while not killed and time.monotonic() < deadline:
+            for worker in list(pool._workers):
+                if worker.dead or worker.task is None:
+                    continue
+                process = worker.process
+                if process.pid and process.is_alive():
+                    try:
+                        os.kill(process.pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        continue
+                    killed.append(process.pid)
+                    return
+            time.sleep(0.005)
+
+    def on_event(name, payload):
+        if name == "partitioned":
+            threading.Thread(
+                target=watch, args=(payload["pool"],), daemon=True
+            ).start()
+
+    return on_event
+
+
+def sharded(version, test, config, shards, workers, lease, kill_worker):
+    killed: list[int] = []
+    on_event = _stalker(killed) if kill_worker else None
+    t0 = time.perf_counter()
+    result = swarm_check(
+        "BoundedBuffer",
+        version,
+        test,
+        config,
+        provider=PROVIDER,
+        swarm=SwarmConfig(shards=shards, lease_executions=lease),
+        pool_config=PoolConfig(workers=workers, backoff_seconds=0.01),
+        on_event=on_event,
+    )
+    return {
+        "seconds": time.perf_counter() - t0,
+        "verdict": result.verdict,
+        "executions": result.phase2_executions,
+        "classes": result.equivalence_classes,
+        "shards": shards,
+        "workers": workers,
+        "lease": lease,
+        "leases": result.leases,
+        "requeues": result.requeues,
+        "resplits": result.resplits,
+        "worker_killed": bool(killed),
+    }
+
+
+def run(mode, shard_counts, workers, lease, kill_worker):
+    version, test = WORKLOADS[mode]
+    config = CheckConfig()
+    baseline = single_process(version, test, config)
+    rows = []
+    for shards in shard_counts:
+        row = sharded(version, test, config, shards, workers, lease, kill_worker)
+        # The contract: sharding (even with a murdered worker) never
+        # changes the answer for reduction="none".
+        assert row["verdict"] == baseline["verdict"], row
+        assert row["executions"] == baseline["executions"], row
+        assert row["classes"] == baseline["classes"], row
+        if kill_worker:
+            assert row["worker_killed"], "no busy worker was available to kill"
+        rows.append(row)
+    return baseline, rows
+
+
+def print_table(baseline, rows):
+    print(
+        f"\n{'config':>16s} {'seconds':>8s} {'speedup':>8s} "
+        f"{'executions':>11s} {'classes':>8s} {'requeues':>9s}"
+    )
+    print(
+        f"{'single-process':>16s} {baseline['seconds']:8.2f} {'1.00x':>8s} "
+        f"{baseline['executions']:11d} {baseline['classes']:8d} {'-':>9s}"
+    )
+    for row in rows:
+        label = f"{row['shards']}sh/{row['workers']}w"
+        speedup = baseline["seconds"] / row["seconds"] if row["seconds"] else 0.0
+        print(
+            f"{label:>16s} {row['seconds']:8.2f} {speedup:7.2f}x "
+            f"{row['executions']:11d} {row['classes']:8d} {row['requeues']:9d}"
+        )
+
+
+def write_snapshot(path, mode, baseline, rows):
+    snapshot = {
+        "benchmark": "swarm",
+        "mode": mode,
+        "cpu_count": os.cpu_count(),
+        "single_process": baseline,
+        "sharded": rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"snapshot written to {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small tree, CI smoke")
+    parser.add_argument("--shards", type=int, nargs="*", default=None,
+                        help="shard counts to measure (default: 2 4)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--lease", type=int, default=64)
+    parser.add_argument("--kill-worker", action="store_true",
+                        help="SIGKILL one busy worker mid-run per configuration")
+    parser.add_argument("--out", default="BENCH_swarm.json",
+                        help="perf snapshot path (default BENCH_swarm.json)")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    shard_counts = args.shards if args.shards else [2, 4]
+    baseline, rows = run(mode, shard_counts, args.workers, args.lease,
+                         args.kill_worker)
+    print_table(baseline, rows)
+    write_snapshot(args.out, mode, baseline, rows)
+    suffix = " with one worker SIGKILLed mid-run" if args.kill_worker else ""
+    print(f"\nsmoke PASS: sharded == single-process exactly{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

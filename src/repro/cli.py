@@ -265,9 +265,28 @@ def _add_isolation_options(parser: argparse.ArgumentParser) -> None:
              "kills its worker is retried and then quarantined (verdict "
              "CRASHED) instead of aborting the campaign",
     )
+    _add_worker_options(parser)
+
+
+def _add_swarm_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, metavar="N",
+        help="split this check's schedule space into N shards fanned "
+             "across sandboxed workers; the run survives losing any "
+             "shard (requeue, quarantine, resumable shard checkpoints)",
+    )
+    parser.add_argument(
+        "--lease", type=int, default=512, metavar="N",
+        help="executions per shard lease before the frontier is "
+             "checkpointed back to the coordinator (default: 512)",
+    )
+    _add_worker_options(parser)
+
+
+def _add_worker_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=2, metavar="N",
-        help="worker processes for --isolate (default: 2)",
+        help="sandboxed worker processes (default: 2)",
     )
     parser.add_argument(
         "--mem-limit-mb", type=int, metavar="MB",
@@ -439,10 +458,124 @@ def _run_check(
     return result, code
 
 
+def _swarm_exit_code(result) -> int:
+    from repro.exec.supervisor import NONDETERMINISTIC_VERDICT
+
+    if result.exhausted_reason == "interrupted":
+        return EXIT_INTERRUPTED
+    if result.verdict in ("FAIL", NONDETERMINISTIC_VERDICT):
+        return EXIT_FAIL
+    if result.verdict == "CRASHED":
+        return EXIT_ALLCRASHED
+    if result.verdict == "EXHAUSTED":
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
+
+
+def _run_swarm_check(
+    args: argparse.Namespace,
+    class_name: str,
+    test: FiniteTest,
+    config: CheckConfig,
+    *,
+    version: str,
+    provider: str | None,
+    swarm_config=None,
+    pool_config=None,
+    resume_document: dict | None = None,
+) -> int:
+    """Shared driver for ``check --shards`` and ``resume`` of a swarm."""
+    from repro.exec.sandbox import ResourceLimits
+    from repro.exec.supervisor import PoolConfig
+    from repro.swarm import (
+        SwarmConfig,
+        render_swarm_result,
+        swarm_check,
+        swarm_result_to_dict,
+    )
+
+    if config.phase2_strategy != "dfs":
+        raise CliError(
+            "--shards partitions a DFS frontier; it requires --strategy dfs"
+        )
+    if config.backend != "observations":
+        raise CliError("--shards supports the observations backend only")
+    if config.dump_traces:
+        raise CliError("--dump-traces is not supported with --shards")
+    if swarm_config is None:
+        if args.shards < 1:
+            raise CliError("--shards must be >= 1")
+        if args.lease < 1:
+            raise CliError("--lease must be >= 1")
+        swarm_config = SwarmConfig(
+            shards=args.shards, lease_executions=args.lease
+        )
+    if pool_config is None:
+        pool_config = PoolConfig(
+            workers=args.workers,
+            start_method=args.start_method,
+            limits=ResourceLimits(mem_limit_mb=args.mem_limit_mb),
+            max_retries=args.max_retries,
+            report_dir=args.report_dir,
+        )
+    stopper = _SignalStop().install()
+    try:
+        control = ExplorationControl(budget=config.budget, stop=stopper)
+        result = swarm_check(
+            class_name,
+            version,
+            test,
+            config,
+            provider=provider,
+            swarm=swarm_config,
+            pool_config=pool_config,
+            control=control,
+            checkpoint_path=getattr(args, "checkpoint", None),
+            resume_document=resume_document,
+        )
+    finally:
+        stopper.uninstall()
+    code = _swarm_exit_code(result)
+    checkpoint = getattr(args, "checkpoint", None)
+    if not result.phase2_complete and checkpoint:
+        print(f"state saved; continue with: python -m repro resume {checkpoint}")
+        print()
+    if getattr(args, "json", False):
+        import json as _json
+
+        print(_json.dumps(swarm_result_to_dict(result), indent=2))
+    else:
+        print(render_swarm_result(result))
+    return code
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     entry = _provider_get_class(args.provider)(args.cls)
     test = _resolve_test(args, entry)
     config = _config_from_args(args)
+    if getattr(args, "shards", None):
+        if args.relaxed:
+            raise CliError("--relaxed is not supported with --shards")
+        if args.minimize:
+            raise CliError(
+                "--minimize is not supported with --shards (re-run the "
+                "failing test without --shards to minimize it)"
+            )
+        if not getattr(args, "json", False):
+            print(
+                f"Checking {entry.name}({args.version}) across "
+                f"{args.shards} shards on:"
+            )
+            print(test.render_matrix())
+            print()
+        return _run_swarm_check(
+            args,
+            entry.name,
+            test,
+            config,
+            version=args.version,
+            provider=args.provider,
+        )
     if config.backend == "monitor":
         if args.checkpoint:
             raise CliError(
@@ -907,6 +1040,67 @@ def _override_deadline(snapshot: dict | None, deadline: float) -> dict | None:
     return {**snapshot, "budget": budget, "elapsed": 0.0}
 
 
+def _resume_swarm(args: argparse.Namespace, document: dict) -> int:
+    """Restart a sharded check from its swarm checkpoint.
+
+    Surviving shard-result files are merged in as-is; only unsettled
+    lineages (and quarantined ones, which get exactly one fresh attempt)
+    are re-dispatched.
+    """
+    from dataclasses import replace
+
+    from repro.exec.sandbox import ResourceLimits
+    from repro.exec.supervisor import PoolConfig
+    from repro.swarm.runner import parse_swarm_state
+
+    subject_info, test, config, swarm_config = parse_swarm_state(document)
+    if "cls" not in subject_info or "version" not in subject_info:
+        raise CliError("swarm checkpoint lacks subject info")
+    if args.deadline is not None:
+        config = replace(
+            config, budget=ExplorationBudget(deadline_seconds=args.deadline)
+        )
+        document = {
+            **document,
+            "budget": _override_deadline(
+                document.get("budget"), args.deadline
+            ),
+        }
+    pool_params = document.get("pool") or {}
+    pool_config = PoolConfig(
+        workers=int(pool_params.get("workers") or 2),
+        start_method=pool_params.get("start_method") or "spawn",
+        limits=ResourceLimits(mem_limit_mb=pool_params.get("mem_limit_mb")),
+        max_retries=int(
+            pool_params.get("max_retries")
+            if pool_params.get("max_retries") is not None
+            else 2
+        ),
+        report_dir=pool_params.get("report_dir"),
+    )
+    settled = sum(
+        1 for _ in (document.get("shard_files") or {})
+    )
+    print(
+        f"Resuming swarm check of {subject_info['cls']}"
+        f"({subject_info['version']}) from {args.checkpoint} "
+        f"({settled} shard file(s) on disk)"
+    )
+    print(test.render_matrix())
+    print()
+    return _run_swarm_check(
+        args,
+        subject_info["cls"],
+        test,
+        config,
+        version=subject_info["version"],
+        provider=subject_info.get("provider"),
+        swarm_config=swarm_config,
+        pool_config=pool_config,
+        resume_document=document,
+    )
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     if args.deadline is not None and args.deadline <= 0:
         raise CliError("--deadline must be a positive number of seconds")
@@ -976,6 +1170,9 @@ def cmd_resume(args: argparse.Namespace) -> int:
             budget_snapshot=budget_snapshot,
         )
 
+    if document["kind"] == "swarm":
+        return _resume_swarm(args, document)
+
     # kind == "check"
     subject_info = document.get("subject") or {}
     if "cls" not in subject_info or "version" not in subject_info:
@@ -983,7 +1180,12 @@ def cmd_resume(args: argparse.Namespace) -> int:
             "check checkpoint lacks subject info; it was not written by the "
             "command line (re-run with --checkpoint)"
         )
-    entry = get_class(subject_info["cls"])
+    # Shard checkpoints (and any worker-run check) may name a non-default
+    # provider; resolve through it so the exact class the worker ran is
+    # the one resumed.
+    entry = _provider_get_class(subject_info.get("provider"))(
+        subject_info["cls"]
+    )
     version = subject_info["version"]
     test, config, resume = parse_check_state(document)
     if args.deadline is not None:
@@ -1009,7 +1211,13 @@ def cmd_resume(args: argparse.Namespace) -> int:
         test,
         config,
         checkpoint=args.checkpoint,
-        extra={"subject": {"cls": entry.name, "version": version}},
+        extra={
+            "subject": {
+                "cls": entry.name,
+                "version": version,
+                "provider": subject_info.get("provider"),
+            }
+        },
         resume=resume,
     )
     print(render_check_result(result))
@@ -1207,6 +1415,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the result summary as JSON instead of the text report",
     )
     _add_check_options(p_check)
+    _add_swarm_options(p_check)
     _add_robustness_options(p_check)
     p_check.set_defaults(func=cmd_check)
 

@@ -460,6 +460,8 @@ def check_against_observations(
     config: CheckConfig | None = None,
     *,
     control: ExplorationControl | None = None,
+    strategy: SchedulingStrategy | None = None,
+    fingerprints: "Any | None" = None,
 ) -> CheckResult:
     """Spec-relative check: phase 2 only, against a *given* specification.
 
@@ -469,12 +471,25 @@ def check_against_observations(
     deterministic spec ("get poisons the lock") yet violates the intended
     Fig. 3 spec.  The observation set can be hand-written or synthesized
     from a reference implementation's phase 1 (differential checking).
+
+    *strategy* and *fingerprints* let a caller seed the exploration with
+    a restored frontier and fingerprint set — the shard workers of
+    :mod:`repro.swarm` run exactly this entry point per lease.
     """
     cfg = config or CheckConfig()
     if control is None and cfg.budget is not None:
         control = ExplorationControl(budget=cfg.budget)
     result = CheckResult(verdict="PASS", test=test, observations=observations)
-    _run_phase2(harness, test, observations, cfg, result, control=control)
+    _run_phase2(
+        harness,
+        test,
+        observations,
+        cfg,
+        result,
+        control=control,
+        strategy=strategy,
+        fingerprints=fingerprints,
+    )
     return result
 
 

@@ -25,7 +25,16 @@ checker, graded by what layer must contain it:
 * :class:`NondetRegister` — nondeterministic in *every* process (a
   per-process instantiation counter leaks into results): a FAIL that a
   re-check confirms.
+* :class:`RacyCounter` — serially clean, but dies via ``os._exit(5)``
+  under some concurrent interleavings only: phase 1 passes, and only
+  the phase-2 shard whose subtree contains the killer interleaving
+  crashes its workers.  Drives the swarm quarantine path (lost-shard
+  requeue, retry caps, and the resumable shard checkpoint).
 * :class:`GoodRegister` — a well-behaved control subject.
+
+``BoundedBuffer`` is also registered here (the registry's worked
+monitor example), so sharded fault-injection tests and the CI smoke job
+can check it through this provider inside spawned workers.
 
 The ``get_class`` here falls back to the paper's Table 1 registry, so a
 campaign plan can mix hostile classes with real ones.
@@ -40,6 +49,7 @@ from typing import Any
 
 from repro.core.events import Invocation
 from repro.runtime import Runtime
+from repro.structures.bounded_buffer import BoundedBuffer as _BoundedBuffer
 from repro.structures.registry import ClassUnderTest
 from repro.structures.registry import get_class as _registry_get_class
 
@@ -155,6 +165,39 @@ class NondetRegister:
         return self._stamp
 
 
+class RacyCounter:
+    """Dies only under specific concurrent interleavings.
+
+    ``Incr`` reads the counter twice before writing; each volatile
+    access is a scheduling point, so a concurrent ``Incr`` can slip its
+    write between the two reads — and when that torn read is observed
+    the process dies via ``os._exit(5)``.  No serial execution can
+    trigger it (phase 1 is clean), and the straight-line default
+    schedule a partition probe follows is clean too, so in a swarm run
+    only the shards whose subtree contains a torn interleaving crash
+    their workers and get quarantined.
+    """
+
+    def __init__(self, rt: Runtime) -> None:
+        self._cell = rt.volatile(0)
+
+    def Incr(self) -> None:
+        # Returns None so a lost update is not itself a linearizability
+        # violation — the *only* observable hostility is the crash.
+        seen = self._cell.get()
+        current = self._cell.get()
+        if current != seen:
+            sys.stderr.write(
+                "RacyCounter: torn increment, dying via os._exit(5)\n"
+            )
+            sys.stderr.flush()
+            os._exit(5)
+        self._cell.set(current + 1)
+
+    def Get(self) -> int:
+        return self._cell.get()
+
+
 def _entry(name: str, cls: type, invocations: tuple[Invocation, ...]) -> ClassUnderTest:
     return ClassUnderTest(
         name=name,
@@ -172,6 +215,18 @@ FAULT_REGISTRY: tuple[ClassUnderTest, ...] = (
     _entry("ExitingRegister", ExitingRegister, (_inv("Quit"), _inv("Get"))),
     _entry("FlakyRegister", FlakyRegister, (_inv("Get"),)),
     _entry("NondetRegister", NondetRegister, (_inv("Get"),)),
+    _entry("RacyCounter", RacyCounter, (_inv("Incr"), _inv("Get"))),
+    ClassUnderTest(
+        name="BoundedBuffer",
+        make=lambda rt, v: _BoundedBuffer(rt, v),
+        invocations=(
+            _inv("Put", 1),
+            _inv("Take"),
+            _inv("TryTake"),
+            _inv("Size"),
+        ),
+        notes="monitor worked example, exposed for sharded worker checks",
+    ),
 )
 
 

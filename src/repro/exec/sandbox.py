@@ -117,7 +117,22 @@ def _resolve_subject(spec: dict):
 
 
 def _run_task(spec: dict) -> dict:
-    """Run one two-phase check; return the result message payload."""
+    """Run one task; dispatch on the spec's ``kind``.
+
+    ``"check"`` (the default) runs a full two-phase check; ``"probe"``
+    and ``"shard"`` are the swarm task kinds (partition probing and
+    lease execution — see :mod:`repro.swarm.worker`).
+    """
+    kind = spec.get("kind") or "check"
+    if kind == "probe":
+        from repro.swarm.worker import run_probe_task
+
+        return run_probe_task(spec)
+    if kind == "shard":
+        from repro.swarm.worker import run_shard_task
+
+        return run_shard_task(spec)
+
     from repro.core.campaign import TestSummary
     from repro.core.checker import check
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
 import signal as signal_module
 import tempfile
 import time
@@ -80,6 +81,14 @@ class TaskSpec:
     :func:`repro.core.checkpoint.test_to_dict` /
     :func:`~repro.core.checkpoint.config_to_dict`; ``provider`` names the
     module whose ``get_class`` resolves ``class_name`` inside the worker.
+
+    ``kind`` selects the worker entry point: ``"check"`` runs a full
+    two-phase check, ``"probe"`` expands one decision prefix, and
+    ``"shard"`` runs one lease of a sharded exploration (both defined in
+    :mod:`repro.swarm.worker`); ``payload`` carries the kind-specific
+    arguments across the pipe.  ``swarm`` is supervision metadata only —
+    the sharding flags of the owning swarm run, so crash-report repro
+    commands stay copy-pasteable — and never crosses to the worker.
     """
 
     index: int
@@ -88,6 +97,9 @@ class TaskSpec:
     test: dict
     config: dict = field(default_factory=dict)
     provider: str | None = None
+    kind: str = "check"
+    payload: dict | None = None
+    swarm: dict | None = None
 
     def to_message(self) -> dict:
         return {
@@ -96,6 +108,8 @@ class TaskSpec:
             "test": self.test,
             "config": self.config,
             "provider": self.provider,
+            "kind": self.kind,
+            "payload": self.payload,
         }
 
 
@@ -130,6 +144,11 @@ class PoolConfig:
     max_retries: int = 2  #: crash retries before quarantine
     backoff_seconds: float = 0.1  #: first retry delay; doubles per retry
     backoff_cap: float = 5.0
+    #: +/- fraction of jitter on each backoff delay, so shards of a swarm
+    #: that crashed together don't retry in lockstep.  Drawn from a pool-
+    #: owned PRNG seeded with ``jitter_seed``, so runs stay reproducible.
+    backoff_jitter: float = 0.5
+    jitter_seed: int = 0
     report_dir: str | None = None  #: crash reports + worker stderr files
 
     def __post_init__(self) -> None:
@@ -142,6 +161,8 @@ class PoolConfig:
             )
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
 
 
 def repro_command(spec: TaskSpec) -> str:
@@ -170,6 +191,16 @@ def repro_command(spec: TaskSpec) -> str:
         parts.append(f'--final "{render_ops(test.final)}"')
     if spec.provider and spec.provider != sandbox.DEFAULT_PROVIDER:
         parts.append(f"--provider {spec.provider}")
+    if spec.kind in ("shard", "probe") and spec.swarm:
+        # A swarm task only makes sense re-run as a swarm: keep the
+        # sharding and isolation flags so the command is copy-pasteable.
+        parts.append(f"--shards {spec.swarm.get('shards', 4)}")
+        if spec.swarm.get("workers") is not None:
+            parts.append(f"--workers {spec.swarm['workers']}")
+        if spec.swarm.get("mem_limit_mb") is not None:
+            parts.append(f"--mem-limit-mb {spec.swarm['mem_limit_mb']}")
+        if spec.swarm.get("max_retries") is not None:
+            parts.append(f"--max-retries {spec.swarm['max_retries']}")
     return " ".join(parts)
 
 
@@ -276,9 +307,21 @@ class WorkerPool:
         self._closed = False
         self._states: dict[int, _TaskState] = {}
         self._spawn_failures = 0
+        #: graceful degradation: shrinks below config.workers when fresh
+        #: workers repeatedly fail to come up but survivors still exist.
+        self._worker_limit = self.config.workers
+        self._backoff_rng = random.Random(self.config.jitter_seed)
         self._on_outcome: (
             Callable[[TaskOutcome, dict[int, int]], None] | None
         ) = None
+        self._quarantine_extra: (
+            Callable[[TaskSpec], dict | None] | None
+        ) = None
+
+    @property
+    def worker_limit(self) -> int:
+        """Workers the pool will currently run (see graceful degradation)."""
+        return self._worker_limit
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -305,6 +348,7 @@ class WorkerPool:
         prior_retries: dict[int, int] | None = None,
         control: ExplorationControl | None = None,
         on_outcome: Callable[[TaskOutcome, dict[int, int]], None] | None = None,
+        quarantine_extra: Callable[[TaskSpec], dict | None] | None = None,
     ) -> tuple[list[TaskOutcome], str | None]:
         """Run *tasks* to completion (or halt); returns (outcomes, stop).
 
@@ -314,7 +358,10 @@ class WorkerPool:
         not in the outcome list (a resume re-runs them); *on_outcome*
         fires on every finalized (or amended — see the flaky guard)
         outcome, in completion order, with the current retry-counter map
-        (the campaign checkpoint hook persists both).
+        (the campaign checkpoint hook persists both); *quarantine_extra*
+        is called with the spec as a task is quarantined and may return
+        extra keys to merge into the crash report (the swarm coordinator
+        uses it to attach a resumable shard checkpoint).
 
         Outcomes are returned sorted by task index.
         """
@@ -330,6 +377,7 @@ class WorkerPool:
             raise SupervisorError("task indices must be unique")
         queue: deque[int] = deque(spec.index for spec in tasks)
         self._on_outcome = on_outcome
+        self._quarantine_extra = quarantine_extra
         self._states = states
         self._spawn_failures = 0
         for worker in self._workers:
@@ -375,7 +423,7 @@ class WorkerPool:
         if not runnable:
             return
         idle = [w for w in self._alive_workers() if w.ready and w.task is None]
-        while len(self._alive_workers()) < min(self.config.workers, len(runnable)):
+        while len(self._alive_workers()) < min(self._worker_limit, len(runnable)):
             self._workers.append(_Worker(self.config, self.report_dir))
         for worker in idle:
             if not runnable:
@@ -564,13 +612,21 @@ class WorkerPool:
             # Dying before ever reporting ready is an environment problem
             # (import failure, broken interpreter), not a hostile subject;
             # respawning forever would spin. Tolerate a few — a subject
-            # killed during sandbox setup looks the same — then give up.
+            # killed during sandbox setup looks the same — then degrade
+            # gracefully onto the survivors, or give up if there are none.
             self._spawn_failures += 1
             if self._spawn_failures > 3:
-                raise SupervisorError(
-                    "workers repeatedly died before initializing "
-                    f"(see stderr files in {self.report_dir})"
-                )
+                survivors = [
+                    w for w in self._alive_workers() if w.ready
+                ]
+                if survivors and len(survivors) < self._worker_limit:
+                    self._worker_limit = len(survivors)
+                    self._spawn_failures = 0
+                else:
+                    raise SupervisorError(
+                        "workers repeatedly died before initializing "
+                        f"(see stderr files in {self.report_dir})"
+                    )
         # Reap before reading the exit code, else a just-died child still
         # reports exitcode None.
         worker.process.join(timeout=1.0)
@@ -620,6 +676,11 @@ class WorkerPool:
             self.config.backoff_seconds * (2 ** (state.retries - 1)),
             self.config.backoff_cap,
         )
+        if self.config.backoff_jitter:
+            spread = self.config.backoff_jitter * (
+                2.0 * self._backoff_rng.random() - 1.0
+            )
+            delay = min(delay * (1.0 + spread), self.config.backoff_cap)
         state.not_before = time.monotonic() + delay
         queue.appendleft(state.spec.index)
 
@@ -658,5 +719,9 @@ class WorkerPool:
             report["trace_file"] = default_trace_path(
                 dump_dir, f"{spec.class_name}({spec.version})", spec.test
             )
+        if self._quarantine_extra is not None:
+            extra = self._quarantine_extra(spec)
+            if extra:
+                report.update(extra)
         atomic_write_text(path, json.dumps(report, indent=2, default=repr))
         return path

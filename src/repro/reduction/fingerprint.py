@@ -148,6 +148,30 @@ class FingerprintSet:
     def snapshot(self) -> list[str]:
         return sorted(self._digests)
 
+    def update(self, other: "FingerprintSet | Iterable[str]") -> int:
+        """Union *other* into this set; return the number of new digests.
+
+        The return value is the equivalence-class reconciliation hook a
+        sharded exploration needs: ``len(shard) - update(shard)`` is how
+        many of a shard's classes were already discovered elsewhere.
+        """
+        digests = (
+            other._digests if isinstance(other, FingerprintSet) else set(other)
+        )
+        fresh = digests - self._digests
+        self._digests |= fresh
+        return len(fresh)
+
+    @classmethod
+    def union(
+        cls, sets: "Iterable[FingerprintSet | Iterable[str]]"
+    ) -> "FingerprintSet":
+        """Merge many shard-local sets into one global set."""
+        merged = cls()
+        for one in sets:
+            merged.update(one)
+        return merged
+
     @classmethod
     def from_snapshot(cls, digests: Iterable[str] | None) -> "FingerprintSet":
         return cls(digests or ())

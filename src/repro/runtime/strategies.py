@@ -579,6 +579,11 @@ def strategy_from_snapshot(snap: dict) -> SchedulingStrategy:
         _SNAPSHOT_TYPES.setdefault("sleep", SleepSetStrategy)
         _SNAPSHOT_TYPES.setdefault("dpor", DPORStrategy)
         cls = _SNAPSHOT_TYPES[tag]
+    if cls is None and tag == "shard":
+        from repro.swarm.strategy import ShardStrategy
+
+        _SNAPSHOT_TYPES.setdefault("shard", ShardStrategy)
+        cls = _SNAPSHOT_TYPES[tag]
     if cls is None:
         from repro.core.checkpoint import CheckpointError
 

@@ -163,3 +163,99 @@ class TestPoolApi:
             provider="repro.structures",
         )
         assert "--provider" not in repro_command(spec)
+
+
+class TestBackoffJitter:
+    """Crash-retry backoff is jittered, but reproducibly (seeded PRNG)."""
+
+    def _delays(self, config, crashes=6):
+        # Drive the retry bookkeeping directly: with ``time.monotonic``
+        # pinned to zero, each recorded crash leaves its backoff delay
+        # in ``state.not_before``.
+        from collections import deque
+
+        from repro.exec import supervisor as sup
+
+        with WorkerPool(config) as pool:
+            state = sup._TaskState(make_spec(0, "GoodRegister", [["Get"]]))
+            delays = []
+            for _ in range(crashes):
+                pool._record_crash(state, deque(), {"reason": "test"})
+                delays.append(state.not_before)
+            return delays
+
+    def test_same_seed_same_delays(self, pool_config, monkeypatch):
+        from repro.exec import supervisor as sup
+
+        monkeypatch.setattr(sup.time, "monotonic", lambda: 0.0)
+        config = pool_config(max_retries=100, jitter_seed=42)
+        first = self._delays(config)
+        second = self._delays(pool_config(max_retries=100, jitter_seed=42))
+        assert first == second
+        other = self._delays(pool_config(max_retries=100, jitter_seed=7))
+        assert first != other
+
+    def test_zero_jitter_is_exact_exponential(self, pool_config, monkeypatch):
+        from repro.exec import supervisor as sup
+
+        monkeypatch.setattr(sup.time, "monotonic", lambda: 0.0)
+        config = pool_config(
+            max_retries=100, backoff_jitter=0.0, backoff_seconds=0.01
+        )
+        delays = self._delays(config, crashes=5)
+        expected = [
+            min(0.01 * 2**k, config.backoff_cap) for k in range(5)
+        ]
+        assert delays == pytest.approx(expected)
+
+    def test_jitter_stays_within_spread_and_cap(self, pool_config, monkeypatch):
+        from repro.exec import supervisor as sup
+
+        monkeypatch.setattr(sup.time, "monotonic", lambda: 0.0)
+        config = pool_config(
+            max_retries=100, backoff_jitter=0.5, backoff_seconds=0.01
+        )
+        delays = self._delays(config, crashes=8)
+        for attempt, delay in enumerate(delays):
+            base = min(0.01 * 2**attempt, config.backoff_cap)
+            assert delay <= config.backoff_cap + 1e-9
+            assert base * 0.5 - 1e-9 <= delay <= base * 1.5 + 1e-9
+
+    def test_out_of_range_jitter_rejected(self, pool_config):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            pool_config(backoff_jitter=1.5)
+
+
+class TestShardReproCommand:
+    """Quarantined swarm tasks reproduce with their sharding flags."""
+
+    def _shard_spec(self):
+        base = make_spec(3, "RacyCounter", [["Incr"], ["Incr"]])
+        return TaskSpec(
+            index=base.index,
+            class_name=base.class_name,
+            version=base.version,
+            test=base.test,
+            config=base.config,
+            provider=base.provider,
+            kind="shard",
+            payload={"shard": 1},
+            swarm={
+                "shards": 4,
+                "workers": 2,
+                "mem_limit_mb": 512,
+                "max_retries": 1,
+            },
+        )
+
+    def test_shard_spec_renders_swarm_flags(self):
+        command = repro_command(self._shard_spec())
+        assert "--shards 4" in command
+        assert "--workers 2" in command
+        assert "--mem-limit-mb 512" in command
+        assert "--max-retries 1" in command
+
+    def test_check_spec_renders_no_swarm_flags(self):
+        command = repro_command(make_spec(0, "GoodRegister", [["Get"]]))
+        assert "--shards" not in command
+        assert "--workers" not in command

@@ -1,0 +1,163 @@
+"""Merge semantics and shard-file corruption handling.
+
+Satellite coverage for the merge layer: the worst-verdict precedence
+that decides a swarm run, cross-shard equivalence-class reconciliation,
+and — the robustness half — that a truncated, version-skewed, mislabeled
+or swapped per-shard checkpoint raises :class:`CheckpointError` naming
+the offending shard instead of blending into the verdict.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import CheckpointError
+from repro.exec.supervisor import NONDETERMINISTIC_VERDICT
+from repro.swarm.merge import (
+    SHARD_RESULT_KIND,
+    load_shard_result,
+    merge_lineage_states,
+    save_shard_result,
+    shard_result_path,
+)
+
+
+def _state(**overrides) -> dict:
+    state = {
+        "settled": True,
+        "verdict": "PASS",
+        "executions": 10,
+        "full": 9,
+        "stuck": 1,
+        "divergent": 0,
+        "pruned": 2,
+        "seconds": 0.5,
+        "leases": 1,
+        "requeues": 0,
+        "retries": 0,
+        "crashes": 0,
+        "fingerprints": ["a", "b"],
+        "violations": [],
+        "crash_report": None,
+    }
+    state.update(overrides)
+    return state
+
+
+class TestMergeVerdicts:
+    def test_all_pass_merges_to_pass(self):
+        merged = merge_lineage_states([_state(), _state(fingerprints=["c"])])
+        assert merged["verdict"] == "PASS"
+        assert merged["complete"] is True
+        assert merged["totals"]["executions"] == 20
+
+    @pytest.mark.parametrize(
+        "verdicts,expected",
+        [
+            (["PASS", "FAIL", "CRASHED"], "FAIL"),
+            (["PASS", NONDETERMINISTIC_VERDICT, "CRASHED"], NONDETERMINISTIC_VERDICT),
+            (["FAIL", NONDETERMINISTIC_VERDICT], "FAIL"),
+            (["PASS", "CRASHED"], "CRASHED"),
+            (["PASS", "EXHAUSTED"], "EXHAUSTED"),
+        ],
+    )
+    def test_worst_verdict_precedence(self, verdicts, expected):
+        merged = merge_lineage_states([_state(verdict=v) for v in verdicts])
+        assert merged["verdict"] == expected
+
+    def test_unsettled_lineage_counts_as_exhausted(self):
+        # A lineage with no verdict yet means coverage is missing: the
+        # merged run cannot claim PASS.
+        merged = merge_lineage_states(
+            [_state(), _state(settled=False, verdict=None)]
+        )
+        assert merged["verdict"] == "EXHAUSTED"
+        assert merged["complete"] is False
+
+    def test_crashed_lineages_counted_as_quarantined(self):
+        merged = merge_lineage_states(
+            [
+                _state(verdict="CRASHED", crashes=2, crash_report="/tmp/r.json"),
+                _state(),
+            ]
+        )
+        assert merged["quarantined"] == 1
+        assert merged["crash_reports"] == ["/tmp/r.json"]
+        assert merged["totals"]["crashes"] == 2
+
+
+class TestClassReconciliation:
+    def test_union_deduplicates_across_shards(self):
+        merged = merge_lineage_states(
+            [
+                _state(fingerprints=["a", "b", "c"]),
+                _state(fingerprints=["b", "c", "d"]),
+            ]
+        )
+        assert merged["equivalence_classes"] == 4
+        assert merged["classes_rediscovered"] == 2
+
+    def test_violations_concatenate(self):
+        violation = {"kind": "linearizability", "rendered": "boom"}
+        merged = merge_lineage_states(
+            [_state(verdict="FAIL", violations=[violation]), _state()]
+        )
+        assert merged["violations"] == [violation]
+
+
+class TestShardFileCorruption:
+    """Satellite: corrupt shard files must name the shard, not blend in."""
+
+    def _saved(self, tmp_path) -> str:
+        ckpt = str(tmp_path / "swarm.json")
+        return save_shard_result(ckpt, 3, _state())
+
+    def test_roundtrip(self, tmp_path):
+        path = self._saved(tmp_path)
+        assert path == shard_result_path(str(tmp_path / "swarm.json"), 3)
+        document = load_shard_result(path, 3)
+        assert document["kind"] == SHARD_RESULT_KIND
+        assert document["executions"] == 10
+
+    def test_truncated_file_names_shard(self, tmp_path):
+        path = self._saved(tmp_path)
+        raw = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError, match="shard 3"):
+            load_shard_result(path, 3)
+
+    def test_version_skew_names_shard(self, tmp_path):
+        path = self._saved(tmp_path)
+        document = json.load(open(path))
+        document["version"] = 999
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CheckpointError, match="shard 3"):
+            load_shard_result(path, 3)
+
+    def test_foreign_kind_names_shard(self, tmp_path):
+        path = self._saved(tmp_path)
+        document = json.load(open(path))
+        document["kind"] = "campaign"
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CheckpointError, match="shard 3"):
+            load_shard_result(path, 3)
+
+    def test_swapped_shard_file_names_shard(self, tmp_path):
+        # Shard 3's path holding shard 5's results: the id check catches
+        # an operator shuffling files between report directories.
+        path = self._saved(tmp_path)
+        document = json.load(open(path))
+        document["shard"] = 5
+        with open(path, "w") as handle:
+            json.dump(document, handle)
+        with pytest.raises(CheckpointError, match="shard 3"):
+            load_shard_result(path, 3)
+
+    def test_missing_file_names_shard(self, tmp_path):
+        with pytest.raises(CheckpointError, match="shard 7"):
+            load_shard_result(str(tmp_path / "nope.json"), 7)
