@@ -133,8 +133,7 @@ def print_table(rows):
 
 def write_snapshot(rows, path):
     """Persist the matrix as a perf snapshot (``BENCH_reduction.json``)."""
-    import json
-    import os
+    import benchlib
 
     cells_out = []
     for name, bound, cells in rows:
@@ -153,15 +152,7 @@ def write_snapshot(rows, path):
                 },
             }
         )
-    snapshot = {
-        "benchmark": "reduction",
-        "cpu_count": os.cpu_count(),
-        "rows": cells_out,
-    }
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"snapshot written to {path}")
+    benchlib.write_snapshot(path, "reduction", {"rows": cells_out})
 
 
 # ---------------------------------------------------------------------------

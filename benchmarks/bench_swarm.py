@@ -20,7 +20,6 @@ asserts the answer still does not move: the CI sharded smoke job runs
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import signal
 import sys
@@ -157,17 +156,13 @@ def print_table(baseline, rows):
 
 
 def write_snapshot(path, mode, baseline, rows):
-    snapshot = {
-        "benchmark": "swarm",
-        "mode": mode,
-        "cpu_count": os.cpu_count(),
-        "single_process": baseline,
-        "sharded": rows,
-    }
-    with open(path, "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"snapshot written to {path}")
+    import benchlib
+
+    benchlib.write_snapshot(
+        path,
+        "swarm",
+        {"mode": mode, "single_process": baseline, "sharded": rows},
+    )
 
 
 def main(argv=None) -> int:

@@ -1,0 +1,57 @@
+"""Shared emitter for the ``BENCH_*.json`` perf snapshots.
+
+Every benchmark that persists results routes them through
+:func:`write_snapshot`, so all snapshots share one schema (documented in
+``docs/PERFORMANCE.md``): a fixed metadata header — ``schema_version``,
+``benchmark``, ``python``, ``platform``, ``cpu_count`` — merged with the
+benchmark-specific payload.  The file is written atomically (tempfile +
+``os.replace``) so a crashed or interrupted run never leaves a truncated
+snapshot for CI to upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+
+#: Bump when the metadata header or any benchmark's payload layout
+#: changes incompatibly; consumers should check this before parsing.
+SCHEMA_VERSION = 1
+
+
+def snapshot_metadata(benchmark: str) -> dict:
+    """The fixed header stamped onto every snapshot."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_snapshot(path: str, benchmark: str, payload: dict) -> None:
+    """Atomically write ``{metadata} | {payload}`` as JSON to *path*."""
+    meta = snapshot_metadata(benchmark)
+    overlap = meta.keys() & payload.keys()
+    if overlap:
+        raise ValueError(
+            f"payload keys collide with snapshot metadata: {sorted(overlap)}"
+        )
+    snapshot = {**meta, **payload}
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".bench-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    print(f"snapshot written to {path}")

@@ -73,7 +73,7 @@ from repro.core.checkpoint import (
 )
 from repro.core.fileio import atomic_write_text
 from repro.core.observations import observations_to_xml
-from repro.runtime import Scheduler
+from repro.runtime import ENGINES, Scheduler, make_scheduler
 from repro.structures import REGISTRY, ROOT_CAUSES, get_class
 
 __all__ = ["main"]
@@ -230,7 +230,8 @@ def _config_from_args(args: argparse.Namespace) -> CheckConfig:
         watchdog_seconds=getattr(args, "watchdog", None),
         backend=backend,
         model=model,
-        monitor_engine=getattr(args, "engine", "auto"),
+        monitor_engine=getattr(args, "monitor_engine", "auto"),
+        engine=getattr(args, "engine", "baton"),
         dump_traces=getattr(args, "dump_traces", None),
         reduction=reduction,
     )
@@ -361,9 +362,17 @@ def _add_check_options(parser: argparse.ArgumentParser) -> None:
              "queue, stack, set, dict); implies --backend monitor",
     )
     parser.add_argument(
-        "--engine", choices=("auto", "wgl", "compositional", "specialized"),
+        "--monitor-engine",
+        choices=("auto", "wgl", "compositional", "specialized"),
         default="auto",
         help="monitor algorithm (default: auto — cheapest applicable)",
+    )
+    parser.add_argument(
+        "--engine", choices=("baton", "coop"), default="baton",
+        help="scheduler engine: 'baton' serializes real OS threads, "
+             "'coop' runs zero-thread generator tasks — identical decision "
+             "traces, faster when workers contend for cores "
+             "(default: baton; see docs/PERFORMANCE.md)",
     )
     _add_trace_dump_option(parser)
     _add_provider_option(parser)
@@ -599,7 +608,11 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
         # Section 6 extension: nondeterministic specs plus the documented
         # .NET interference policies for this class (if any).
-        with TestHarness(subject, watchdog=args.watchdog) as harness:
+        with TestHarness(
+            subject,
+            watchdog=args.watchdog,
+            engine=getattr(args, "engine", "baton"),
+        ) as harness:
             result = check_relaxed(
                 harness,
                 test,
@@ -713,6 +726,7 @@ def _run_campaign_plan(
         budget=budget,
         watchdog_seconds=params.get("watchdog"),
         dump_traces=params.get("dump_traces"),
+        engine=params.get("engine", "baton"),
     )
     stopper = _SignalStop().install()
     control = ExplorationControl(budget=budget, stop=stopper)
@@ -723,7 +737,7 @@ def _run_campaign_plan(
     rows = list(finished_rows)
     done = {(row.class_name, row.version) for row in rows}
     stop_reason: str | None = None
-    scheduler = Scheduler(watchdog=config.watchdog_seconds)
+    scheduler = make_scheduler(config.engine, watchdog=config.watchdog_seconds)
     try:
         for name, version in plan:
             if (name, version) in done:
@@ -878,6 +892,7 @@ def _run_campaign_plan_isolated(
         budget=budget,
         watchdog_seconds=params.get("watchdog"),
         dump_traces=params.get("dump_traces"),
+        engine=params.get("engine", "baton"),
     )
     provider = params.get("provider")
     resolve = _provider_get_class(provider)
@@ -1019,6 +1034,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "provider": args.provider,
         "dump_traces": args.dump_traces,
         "reduction": args.reduction,
+        "engine": getattr(args, "engine", "baton"),
     }
     if args.isolate:
         return _run_campaign_plan_isolated(plan, params, args.checkpoint, [])
@@ -1261,7 +1277,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     subject = trace.subject or "(unknown subject)"
     print(
         f"Monitoring {len(trace.histories)} histories of {subject} "
-        f"against model {model.name!r} (engine {args.engine})"
+        f"against model {model.name!r} (engine {args.monitor_engine})"
     )
     if trace.truncated:
         print("note: the trace's final record was truncated and is skipped")
@@ -1273,7 +1289,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             verdict = monitor_history(
                 history,
                 model,
-                engine=args.engine,
+                engine=args.monitor_engine,
                 max_configurations=args.max_configurations,
             )
         except MonitorLimitError:
@@ -1432,6 +1448,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument("--cols", type=int, default=3)
     p_campaign.add_argument("--schedules", type=int, default=150)
     p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument(
+        "--engine", choices=ENGINES, default="baton",
+        help="scheduler engine (default: baton; 'coop' is the zero-thread "
+             "generator engine — identical decision traces, faster under "
+             "core contention; see docs/PERFORMANCE.md)",
+    )
     _add_reduction_option(p_campaign)
     _add_provider_option(p_campaign)
     _add_isolation_options(p_campaign)
@@ -1471,7 +1493,9 @@ def build_parser() -> argparse.ArgumentParser:
              "queue, stack, set, dict)",
     )
     p_monitor.add_argument(
-        "--engine", choices=("auto", "wgl", "compositional", "specialized"),
+        "--monitor-engine", "--engine",
+        dest="monitor_engine",
+        choices=("auto", "wgl", "compositional", "specialized"),
         default="auto",
         help="monitor algorithm (default: auto — cheapest applicable)",
     )

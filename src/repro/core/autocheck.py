@@ -105,6 +105,7 @@ def _run_campaign(
         scheduler=scheduler,
         max_steps=cfg.max_steps,
         watchdog=cfg.watchdog_seconds,
+        engine=cfg.engine,
     ) as harness:
         for test in tests:
             if control is not None:
@@ -224,8 +225,12 @@ def minimize_failing_test(
     with.
     """
     accept = still_fails if still_fails is not None else (lambda r: r.failed)
+    cfg = config or CheckConfig()
     with TestHarness(
-        subject, scheduler=scheduler, max_steps=(config or CheckConfig()).max_steps
+        subject,
+        scheduler=scheduler,
+        max_steps=cfg.max_steps,
+        engine=cfg.engine,
     ) as harness:
         result = check_with_harness(harness, test, config)
         if not accept(result):

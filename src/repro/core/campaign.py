@@ -257,6 +257,7 @@ def run_class_campaign(
         scheduler=scheduler,
         max_steps=cfg.max_steps,
         watchdog=cfg.watchdog_seconds,
+        engine=cfg.engine,
     ) as harness:
         for test in list(tests)[len(summaries):]:
             if control is not None:
@@ -401,6 +402,7 @@ def verify_causes(
         scheduler=scheduler,
         max_steps=cfg.max_steps,
         watchdog=cfg.watchdog_seconds,
+        engine=cfg.engine,
     ) as harness:
         for cause in entry.causes_for(version):
             if cause.witness_test is None:

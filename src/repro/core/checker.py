@@ -103,6 +103,11 @@ class CheckConfig:
 
     preemption_bound: int | None = 2
     phase2_strategy: str = "dfs"  #: "dfs", "iterative", "random" or "pct"
+    #: scheduler engine: ``"baton"`` (real threads serialized by semaphore
+    #: handoff) or ``"coop"`` (zero-thread generator tasks; same decision
+    #: traces, much faster).  Only applies to schedulers the check
+    #: creates, not to a caller-provided one.
+    engine: str = "baton"
     pct_depth: int = 3  #: bug depth for phase2_strategy="pct"
     phase2_executions: int = 2000  #: sample size when phase2_strategy="random"
     seed: int = 0
@@ -275,6 +280,7 @@ def check(
         scheduler=scheduler,
         max_steps=cfg.max_steps,
         watchdog=cfg.watchdog_seconds,
+        engine=cfg.engine,
     ) as harness:
         return check_with_harness(
             harness,

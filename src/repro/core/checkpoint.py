@@ -119,6 +119,7 @@ def config_to_dict(config: CheckConfig) -> dict:
         "monitor_engine": config.monitor_engine,
         "dump_traces": config.dump_traces,
         "reduction": config.reduction,
+        "engine": config.engine,
     }
 
 
@@ -143,6 +144,7 @@ def config_from_dict(data: dict) -> CheckConfig:
         monitor_engine=data.get("monitor_engine", "auto"),
         dump_traces=data.get("dump_traces"),
         reduction=data.get("reduction", "none"),
+        engine=data.get("engine", "baton"),
     )
 
 

@@ -35,6 +35,7 @@ from repro.runtime import (
     SchedulerError,
     SchedulingStrategy,
     WatchdogConfig,
+    make_scheduler,
 )
 
 __all__ = ["HarnessError", "OpMark", "Phase1Stats", "SystemUnderTest", "TestHarness"]
@@ -104,13 +105,14 @@ class TestHarness:
         scheduler: Scheduler | None = None,
         max_steps: int = 20_000,
         watchdog: WatchdogConfig | float | None = None,
+        engine: str = "baton",
     ) -> None:
         self.subject = subject
         self._owns_scheduler = scheduler is None
         self.scheduler = (
             scheduler
             if scheduler is not None
-            else Scheduler(max_steps, watchdog=watchdog)
+            else make_scheduler(engine, max_steps=max_steps, watchdog=watchdog)
         )
         self.runtime = Runtime(self.scheduler)
 

@@ -3,13 +3,18 @@
 Public surface:
 
 * :class:`Scheduler` — serializes logical threads and enumerates their
-  interleavings at the granularity of instrumented operations.
+  interleavings at the granularity of instrumented operations (the
+  ``baton`` engine: real OS threads handed a semaphore baton).
+* :class:`CoopScheduler` — the same contract with zero OS threads in the
+  common path (the ``coop`` engine: generator tasks resumed with
+  ``send()``); :func:`make_scheduler` selects between the two by name.
 * :class:`Runtime` — the facade through which code under test allocates
   instrumented shared state (cells, atomics, locks, containers).
 * :class:`DFSStrategy`, :class:`RandomStrategy`, :class:`ReplayStrategy` —
   exploration strategies (exhaustive / sampled / single replay).
 """
 
+from repro.runtime.coop import CoopScheduler
 from repro.runtime.env import Runtime
 from repro.runtime.errors import (
     DecisionReplayError,
@@ -44,12 +49,29 @@ from repro.runtime.strategies import (
 )
 from repro.runtime.watchdog import WatchdogConfig, interrupt_thread
 
+#: Engine names accepted by :func:`make_scheduler` and the CLI.
+ENGINES = ("baton", "coop")
+
+
+def make_scheduler(engine: str = "baton", **kwargs):
+    """Build a scheduler by engine name (``"baton"`` or ``"coop"``)."""
+    if engine == "baton":
+        return Scheduler(**kwargs)
+    if engine == "coop":
+        return CoopScheduler(**kwargs)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {', '.join(ENGINES)}"
+    )
+
+
 __all__ = [
     "AccessRecord",
     "AtomicCell",
+    "CoopScheduler",
     "Decision",
     "DecisionReplayError",
     "DFSStrategy",
+    "ENGINES",
     "ExecutionAbort",
     "ExecutionOutcome",
     "IterativeDFSStrategy",
@@ -69,6 +91,7 @@ __all__ = [
     "WatchdogConfig",
     "dfs_with_reduction",
     "interrupt_thread",
+    "make_scheduler",
     "strategy_from_snapshot",
     "thread_name",
 ]

@@ -50,7 +50,7 @@ class Lock(_Location):
             raise SchedulerError(f"thread {tid} re-acquired non-reentrant {self.name}")
         sched.block_until(lambda: self._owner is None)
         self._owner = tid
-        self._record("acquire", volatile=True)
+        self._record("acquire", True)
 
     def try_acquire(self) -> bool:
         """Take the lock iff it is free right now; never blocks."""
@@ -58,9 +58,9 @@ class Lock(_Location):
         sched.schedule_point()
         if self._owner is None:
             self._owner = sched.current_thread()
-            self._record("acquire", volatile=True)
+            self._record("acquire", True)
             return True
-        self._record("cas-fail", volatile=True)
+        self._record("cas-fail", True)
         return False
 
     def acquire_timed(self) -> bool:
@@ -75,11 +75,11 @@ class Lock(_Location):
         sched.schedule_point()
         while self._owner is not None:
             if sched.choose(2) == 1:
-                self._record("cas-fail", volatile=True)
+                self._record("cas-fail", True)
                 return False
             sched.block_until(lambda: self._owner is None)
         self._owner = sched.current_thread()
-        self._record("acquire", volatile=True)
+        self._record("acquire", True)
         return True
 
     def release(self) -> None:
@@ -91,7 +91,7 @@ class Lock(_Location):
             raise SchedulerError(
                 f"thread {tid} released {self.name} owned by {self._owner}"
             )
-        self._record("release", volatile=True)
+        self._record("release", True)
         self._owner = None
 
     def __enter__(self) -> "Lock":

@@ -25,9 +25,9 @@ serializability) can observe exactly what the model checker explored.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.runtime.coopc import coop_direct
 from repro.runtime.scheduler import Scheduler
 
 __all__ = [
@@ -46,17 +46,35 @@ __all__ = [
 _instance_uids = itertools.count(1)
 
 
-@dataclass(frozen=True)
 class AccessRecord:
-    """One instrumented access to shared state (for the analysis tools)."""
+    """One instrumented access to shared state (for the analysis tools).
 
-    stamp: int  #: value of the execution step counter at access time
-    thread: int  #: logical thread id performing the access
-    kind: str  #: read / write / cas-ok / cas-fail / acquire / release
-    location: int  #: per-execution-stable id of the accessed cell or lock
-    name: str  #: human-readable location name
-    volatile: bool  #: whether the access has synchronization semantics
-    uid: int = 0  #: process-unique id of the cell/lock instance
+    Hand-rolled rather than a frozen dataclass: every instrumented
+    memory access creates one, so construction cost is a per-access tax
+    on both engines.  Treat instances as immutable.
+    """
+
+    __slots__ = (
+        "stamp", "thread", "kind", "location", "name", "volatile", "uid"
+    )
+
+    def __init__(
+        self,
+        stamp: int,  # value of the execution step counter at access time
+        thread: int,  # logical thread id performing the access
+        kind: str,  # read / write / cas-ok / cas-fail / acquire / release
+        location: int,  # per-execution-stable id of the cell or lock
+        name: str,  # human-readable location name
+        volatile: bool,  # whether the access has synchronization semantics
+        uid: int = 0,  # process-unique id of the cell/lock instance
+    ) -> None:
+        self.stamp = stamp
+        self.thread = thread
+        self.kind = kind
+        self.location = location
+        self.name = name
+        self.volatile = volatile
+        self.uid = uid
 
     @property
     def is_write(self) -> bool:
@@ -65,6 +83,40 @@ class AccessRecord:
     @property
     def is_read(self) -> bool:
         return self.kind in ("read", "cas-fail")
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessRecord(stamp={self.stamp!r}, thread={self.thread!r}, "
+            f"kind={self.kind!r}, location={self.location!r}, "
+            f"name={self.name!r}, volatile={self.volatile!r}, "
+            f"uid={self.uid!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AccessRecord:
+            return NotImplemented
+        return (
+            self.stamp == other.stamp
+            and self.thread == other.thread
+            and self.kind == other.kind
+            and self.location == other.location
+            and self.name == other.name
+            and self.volatile == other.volatile
+            and self.uid == other.uid
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.stamp,
+                self.thread,
+                self.kind,
+                self.location,
+                self.name,
+                self.volatile,
+                self.uid,
+            )
+        )
 
 
 class _Location:
@@ -78,6 +130,7 @@ class _Location:
         self.uid = next(_instance_uids)
         self.name = name
 
+    @coop_direct  # pure bookkeeping: no scheduling point anywhere below
     def _record(self, kind: str, volatile: bool) -> None:
         sched = self._scheduler
         outcome = sched._outcome  # noqa: SLF001 - runtime-internal fast path
@@ -104,11 +157,11 @@ class PlainCell(_Location):
         self._value = value
 
     def get(self) -> Any:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return self._value
 
     def set(self, value: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._value = value
 
 
@@ -121,12 +174,12 @@ class VolatileCell(_Location):
 
     def get(self) -> Any:
         self._scheduler.schedule_point()
-        self._record("read", volatile=True)
+        self._record("read", True)
         return self._value
 
     def set(self, value: Any) -> None:
         self._scheduler.schedule_point()
-        self._record("write", volatile=True)
+        self._record("write", True)
         self._value = value
 
     def peek(self) -> Any:
@@ -187,39 +240,39 @@ class SharedList(_Location):
         self._items: list[Any] = list(items)
 
     def __len__(self) -> int:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return len(self._items)
 
     def append(self, item: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._items.append(item)
 
     def pop(self, index: int = -1) -> Any:
-        self._record("write", volatile=False)
+        self._record("write", False)
         return self._items.pop(index)
 
     def insert(self, index: int, item: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._items.insert(index, item)
 
     def get(self, index: int) -> Any:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return self._items[index]
 
     def set(self, index: int, item: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._items[index] = item
 
     def remove(self, item: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._items.remove(item)
 
     def clear(self) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._items.clear()
 
     def snapshot(self) -> list[Any]:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return list(self._items)
 
     def peek_len(self) -> int:
@@ -235,29 +288,29 @@ class SharedDict(_Location):
         self._items: dict[Any, Any] = {}
 
     def __len__(self) -> int:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return len(self._items)
 
     def __contains__(self, key: Any) -> bool:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return key in self._items
 
     def get(self, key: Any, default: Any = None) -> Any:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return self._items.get(key, default)
 
     def set(self, key: Any, value: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         self._items[key] = value
 
     def delete(self, key: Any) -> None:
-        self._record("write", volatile=False)
+        self._record("write", False)
         del self._items[key]
 
     def keys(self) -> list[Any]:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return sorted(self._items)
 
     def snapshot(self) -> dict[Any, Any]:
-        self._record("read", volatile=False)
+        self._record("read", False)
         return dict(self._items)

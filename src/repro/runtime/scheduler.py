@@ -79,7 +79,6 @@ _BLOCKED = "blocked"  # waiting inside block_until
 _DONE = "done"  # body finished (or aborted) for this execution
 
 
-@dataclass(frozen=True)
 class Decision:
     """One decision made during an execution.
 
@@ -92,13 +91,50 @@ class Decision:
     switching threads there is part of enumerating operation interleavings
     and is *not* counted as a preemption by bounded strategies (preemptions
     are switches away from a thread that is mid-operation and enabled).
+
+    Hand-rolled rather than a frozen dataclass: one is created per
+    scheduling step of every execution, so construction cost is a
+    per-step tax on both engines.  Treat instances as immutable.
     """
 
-    kind: str
-    options: tuple
-    chosen: Any
-    running: int | None
-    free: bool = False
+    __slots__ = ("kind", "options", "chosen", "running", "free")
+
+    def __init__(
+        self,
+        kind: str,
+        options: tuple,
+        chosen: Any,
+        running: int | None,
+        free: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.options = options
+        self.chosen = chosen
+        self.running = running
+        self.free = free
+
+    def __repr__(self) -> str:
+        return (
+            f"Decision(kind={self.kind!r}, options={self.options!r}, "
+            f"chosen={self.chosen!r}, running={self.running!r}, "
+            f"free={self.free!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Decision:
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.options == other.options
+            and self.chosen == other.chosen
+            and self.running == other.running
+            and self.free == other.free
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.kind, self.options, self.chosen, self.running, self.free)
+        )
 
 
 @dataclass
@@ -252,6 +288,10 @@ class Scheduler:
     single controller thread (typically the pytest process) via
     :meth:`explore` or :meth:`execute`.
     """
+
+    #: Engine name, for dispatching code that cares which substrate runs
+    #: the logical threads (see ``repro.runtime.coop`` for the other one).
+    engine = "baton"
 
     def __init__(
         self,

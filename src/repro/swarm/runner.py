@@ -331,7 +331,10 @@ def swarm_check(
         subject = SystemUnderTest(entry.factory(version), subject_name)
         t0 = time.perf_counter()
         with TestHarness(
-            subject, max_steps=cfg.max_steps, watchdog=cfg.watchdog_seconds
+            subject,
+            max_steps=cfg.max_steps,
+            watchdog=cfg.watchdog_seconds,
+            engine=cfg.engine,
         ) as harness:
             observations, stats = harness.run_serial(
                 test, max_executions=cfg.max_serial_executions, control=control

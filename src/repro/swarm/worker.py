@@ -43,7 +43,10 @@ def run_probe_task(spec: dict) -> dict:
     prefix = payload.get("prefix") or []
     children = None
     with TestHarness(
-        subject, max_steps=config.max_steps, watchdog=config.watchdog_seconds
+        subject,
+        max_steps=config.max_steps,
+        watchdog=config.watchdog_seconds,
+        engine=config.engine,
     ) as harness:
         for _history, outcome in harness.explore_concurrent(
             test, PrefixProbeStrategy(prefix), max_executions=1
@@ -84,7 +87,10 @@ def run_shard_task(spec: dict) -> dict:
     fingerprints = FingerprintSet()
     started = time.perf_counter()
     with TestHarness(
-        subject, max_steps=config.max_steps, watchdog=config.watchdog_seconds
+        subject,
+        max_steps=config.max_steps,
+        watchdog=config.watchdog_seconds,
+        engine=config.engine,
     ) as harness:
         result = check_against_observations(
             harness,

@@ -1,0 +1,35 @@
+"""Engine-parametrized fixtures for the scheduler test suite.
+
+Every test in ``tests/runtime/`` that takes the ``scheduler`` fixture
+runs twice: once on the baton engine (real OS threads serialized by
+semaphore handoff) and once on the coop engine (zero-thread generator
+tasks).  The two engines promise identical decision traces, so the same
+assertions must hold on both — this is the conformance half of the
+differential testing story (``tests/properties/test_engine_equivalence``
+is the equivalence half).
+
+The watchdog tests stay baton-only: they exercise stall *timing* (real
+``time.sleep`` in bodies, interrupt latencies), which is inherently
+engine-specific and covered for coop by
+``test_coop_engine.py::TestDivergence``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import make_scheduler
+
+#: Modules whose scheduler tests are pinned to the baton engine.
+_BATON_ONLY = ("test_watchdog",)
+
+
+@pytest.fixture(scope="module", params=["baton", "coop"])
+def scheduler(request):
+    """Override the session-wide baton scheduler with both engines."""
+    module = request.module.__name__.rsplit(".", 1)[-1]
+    if request.param != "baton" and module in _BATON_ONLY:
+        pytest.skip(f"{module} exercises baton-specific timing")
+    sched = make_scheduler(request.param)
+    yield sched
+    sched.shutdown()
