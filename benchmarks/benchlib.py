@@ -11,9 +11,11 @@ snapshot for CI to upload.
 
 from __future__ import annotations
 
+import datetime
 import json
 import os
 import platform
+import subprocess
 import tempfile
 
 #: Bump when the metadata header or any benchmark's payload layout
@@ -21,14 +23,39 @@ import tempfile
 SCHEMA_VERSION = 1
 
 
+def _git_sha() -> "str | None":
+    """The current commit, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
 def snapshot_metadata(benchmark: str) -> dict:
-    """The fixed header stamped onto every snapshot."""
+    """The fixed header stamped onto every snapshot.
+
+    ``git_sha`` and ``timestamp`` make two snapshots comparable: a
+    regression report that cannot say *which commits* it compares is
+    noise.  ``git_sha`` is None when git is unavailable (sdist builds).
+    """
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": benchmark,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
     }
 
 

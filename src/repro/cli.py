@@ -18,6 +18,11 @@ Line-Up as a tool, mirroring how the paper's authors drove it:
   file.
 * ``resume`` — continue an interrupted ``check`` or ``campaign`` from a
   ``--checkpoint`` file.
+* ``monitor`` — re-check a dumped JSONL trace against an explicit
+  sequential model (no execution).
+* ``live`` — record N concurrent sessions against a live service over
+  wall-clock time (optionally under chaos fault injection) and check
+  the recorded v2 trace; see :mod:`repro.live`.
 
 Long runs are made interruptible: ``--deadline SECONDS`` bounds the
 exploration (stopping with an explicit EXHAUSTED verdict and partial
@@ -32,7 +37,9 @@ campaign — the test is retried and eventually quarantined with a
 
 Exit status: 0 = PASS, 1 = violation found, 2 = exploration budget
 exhausted, 64 = usage error, 70 = every test crashed (isolated
-campaigns), 130 = interrupted (SIGINT/SIGTERM).
+campaigns) or the live service died unexpectedly, 130 = interrupted
+(SIGINT/SIGTERM).  :data:`EXIT_CODE_MEANINGS` is the single source of
+truth for this contract.
 """
 
 from __future__ import annotations
@@ -85,9 +92,25 @@ EXIT_EXHAUSTED = 2
 EXIT_USAGE = 64
 #: Every test of an isolated campaign crashed its worker and was
 #: quarantined — no verdict at all was obtained, which almost always
-#: means an environment problem rather than a concurrency bug.
+#: means an environment problem rather than a concurrency bug.  Reused
+#: by ``lineup live`` for an *unexpected* service death (CRASHED).
 EXIT_ALLCRASHED = 70
 EXIT_INTERRUPTED = 130
+
+#: Single source of truth for the exit-code contract.  The ``--help``
+#: epilog is generated from this mapping and the tables in README.md /
+#: docs/ROBUSTNESS.md are pinned against it by
+#: ``tests/core/test_cli_robustness.py`` — edit here, everything else
+#: follows or fails.
+EXIT_CODE_MEANINGS = {
+    EXIT_PASS: "PASS",
+    EXIT_FAIL: "violation found",
+    EXIT_EXHAUSTED: "exploration budget exhausted",
+    EXIT_USAGE: "usage error",
+    EXIT_ALLCRASHED: "every test crashed (isolated campaigns) "
+                     "or the live service died unexpectedly",
+    EXIT_INTERRUPTED: "interrupted (SIGINT/SIGTERM)",
+}
 
 
 class CliError(Exception):
@@ -1332,6 +1355,106 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return EXIT_EXHAUSTED if exhausted else EXIT_PASS
 
 
+def cmd_live(args: argparse.Namespace) -> int:
+    """Record N sessions against a live service, then check the trace."""
+    import json as _json
+    from dataclasses import replace as _dc_replace
+
+    from repro.live import (
+        LiveConfig,
+        parse_chaos,
+        render_live_result,
+        run_live,
+        start_refsut_process,
+    )
+
+    try:
+        chaos = parse_chaos(args.chaos, seed=args.chaos_seed)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    if chaos.modes:
+        chaos = _dc_replace(chaos, kill_after_events=args.kill_after_events)
+
+    proc = None
+    if args.url:
+        if chaos.enabled("kill"):
+            raise CliError(
+                "chaos mode 'kill' needs a SUT spawned by this process; "
+                "drop --url or drop 'kill' from --chaos"
+            )
+        host, _, port_text = args.url.rpartition(":")
+        host = host or "127.0.0.1"
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise CliError(
+                f"--url must be HOST:PORT, got {args.url!r}"
+            ) from None
+        subject = args.url
+    else:
+        proc = start_refsut_process(
+            args.variant, race_window=args.race_window
+        )
+        host, port = "127.0.0.1", proc.port
+        subject = f"refsut:{args.variant}"
+
+    config = LiveConfig(
+        model=args.model,
+        sessions=args.sessions,
+        ops=args.ops,
+        op_timeout=args.op_timeout,
+        seed=args.seed,
+        chaos=chaos if chaos.modes else None,
+        trace_out=args.trace_out,
+        max_configurations=args.max_configurations,
+        monitor_engine=args.monitor_engine,
+        subject=subject,
+    )
+
+    stop = _SignalStop().install()
+    try:
+        result = run_live(
+            host, port, config, sut_process=proc, should_stop=stop
+        )
+    finally:
+        stop.uninstall()
+        if proc is not None:
+            proc.close()
+
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "verdict": result.verdict,
+                    "outcome": result.outcome,
+                    "partial": result.partial,
+                    "completed": result.completed,
+                    "indeterminate": result.indeterminate,
+                    "errors": result.errors,
+                    "connect_retries": result.connect_retries,
+                    "injected": {
+                        mode: count
+                        for mode, count in sorted(result.injected.items())
+                        if count
+                    },
+                    "trace": result.trace_path,
+                }
+            )
+        )
+    else:
+        print(render_live_result(result))
+
+    if result.verdict == "FAIL":
+        return EXIT_FAIL  # a violation in a partial trace is still a proof
+    if result.outcome == "interrupted":
+        return EXIT_INTERRUPTED
+    if result.verdict == "CRASHED":
+        return EXIT_ALLCRASHED
+    if result.verdict == "EXHAUSTED":
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
+
+
 def cmd_observations(args: argparse.Namespace) -> int:
     entry = _provider_get_class(getattr(args, "provider", None))(args.cls)
     test = _resolve_test(args, entry)
@@ -1383,10 +1506,9 @@ class _ArgumentParser(argparse.ArgumentParser):
         raise CliError(f"{self.prog}: {message}")
 
 
-_EXIT_CODE_HELP = (
-    "exit status: 0 = PASS, 1 = violation found, 2 = exploration budget "
-    "exhausted, 64 = usage error, 70 = every test crashed (isolated "
-    "campaigns), 130 = interrupted (SIGINT/SIGTERM)"
+_EXIT_CODE_HELP = "exit status: " + ", ".join(
+    f"{code} = {meaning}"
+    for code, meaning in sorted(EXIT_CODE_MEANINGS.items())
 )
 
 
@@ -1508,6 +1630,83 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a verdict line per history",
     )
     p_monitor.set_defaults(func=cmd_monitor)
+
+    p_live = sub.add_parser(
+        "live",
+        help="record N concurrent sessions against a live service over "
+             "wall-clock time, then check the recorded trace",
+        epilog=_EXIT_CODE_HELP,
+    )
+    p_live.add_argument(
+        "--url", metavar="HOST:PORT",
+        help="check an already-running service instead of spawning the "
+             "in-repo reference SUT",
+    )
+    p_live.add_argument(
+        "--variant", choices=("correct", "buggy"), default="correct",
+        help="reference-SUT variant to spawn (ignored with --url)",
+    )
+    p_live.add_argument(
+        "--model", choices=("counter", "queue", "register"),
+        default="counter",
+        help="sequential model (and workload shape) to check against",
+    )
+    p_live.add_argument(
+        "--sessions", type=int, default=4, metavar="N",
+        help="concurrent client sessions (default: 4)",
+    )
+    p_live.add_argument(
+        "--ops", type=int, default=25, metavar="N",
+        help="operations per session (default: 25)",
+    )
+    p_live.add_argument(
+        "--op-timeout", type=float, default=1.0, metavar="SECONDS",
+        help="per-operation deadline; a timed-out call is recorded as an "
+             "indeterminate (pending) operation (default: 1.0)",
+    )
+    p_live.add_argument(
+        "--chaos", default="none", metavar="MODES",
+        help="fault injection: comma list of latency, drop, disconnect, "
+             "refuse, kill; or 'all' / 'none' (default: none)",
+    )
+    p_live.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="SEED",
+        help="seed of the deterministic fault streams (default: 0)",
+    )
+    p_live.add_argument(
+        "--kill-after-events", type=int, default=40, metavar="N",
+        help="chaos 'kill': SIGKILL the SUT once N trace events are "
+             "recorded (default: 40)",
+    )
+    p_live.add_argument(
+        "--seed", type=int, default=0, metavar="SEED",
+        help="workload/backoff randomness seed (default: 0)",
+    )
+    p_live.add_argument(
+        "--trace-out", default="live.trace.jsonl", metavar="FILE",
+        help="v2 JSONL trace to record (default: live.trace.jsonl)",
+    )
+    p_live.add_argument(
+        "--race-window", type=float, default=0.004, metavar="SECONDS",
+        help="reference-SUT buggy-variant race window (default: 0.004)",
+    )
+    p_live.add_argument(
+        "--monitor-engine", "--engine",
+        dest="monitor_engine",
+        choices=("auto", "wgl", "compositional", "specialized"),
+        default="auto",
+        help="monitor algorithm for the offline check (default: auto)",
+    )
+    p_live.add_argument(
+        "--max-configurations", type=int, default=500_000, metavar="N",
+        help="abort the offline search past N configurations (EXHAUSTED; "
+             "default: 500000)",
+    )
+    p_live.add_argument(
+        "--json", action="store_true",
+        help="print a one-line JSON result instead of the report",
+    )
+    p_live.set_defaults(func=cmd_live)
 
     p_obs = sub.add_parser(
         "observations", help="phase 1 only: write the observation file"

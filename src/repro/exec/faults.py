@@ -53,7 +53,18 @@ from repro.structures.bounded_buffer import BoundedBuffer as _BoundedBuffer
 from repro.structures.registry import ClassUnderTest
 from repro.structures.registry import get_class as _registry_get_class
 
-__all__ = ["FAULT_REGISTRY", "get_class"]
+__all__ = [
+    "CRASHING_REGISTER_EXIT",
+    "FAULT_REGISTRY",
+    "RACY_COUNTER_EXIT",
+    "get_class",
+]
+
+#: Exit status of a worker felled by :class:`CrashingRegister`.
+CRASHING_REGISTER_EXIT = 3
+#: Exit status of a worker felled by :class:`RacyCounter` — the code
+#: the swarm quarantine/repro path observes in crashed shards.
+RACY_COUNTER_EXIT = 5
 
 
 def _inv(method: str, *args: Any) -> Invocation:
@@ -83,7 +94,7 @@ class CrashingRegister(GoodRegister):
     def Boom(self) -> None:
         sys.stderr.write("CrashingRegister: going down via os._exit(3)\n")
         sys.stderr.flush()
-        os._exit(3)
+        os._exit(CRASHING_REGISTER_EXIT)
 
 
 class FreezingRegister(GoodRegister):
@@ -191,7 +202,7 @@ class RacyCounter:
                 "RacyCounter: torn increment, dying via os._exit(5)\n"
             )
             sys.stderr.flush()
-            os._exit(5)
+            os._exit(RACY_COUNTER_EXIT)
         self._cell.set(current + 1)
 
     def Get(self) -> int:

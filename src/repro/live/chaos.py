@@ -1,0 +1,189 @@
+"""Fault injection: a chaos proxy interposed on the client transport.
+
+:class:`ChaosTransport` wraps any :class:`~repro.live.transport.Transport`
+and injects faults *through the same typed failure hierarchy* the real
+network uses, so the session and recorder exercise their production
+paths, not special test hooks:
+
+* ``latency`` — random sleeps before the request and before delivering
+  the response.  Pure interval inflation: the recorded operation spans
+  grow, which weakens precedence constraints (sound — more
+  linearizations are admitted, never fewer).
+* ``drop`` — the request is **not sent** but the client is told the
+  call timed out (:class:`AmbiguousFailure`).  The operation is
+  recorded as pending although it certainly did not take effect: the
+  checker must be happy to linearize it *nowhere*.
+* ``disconnect`` — the request **is sent and executed**, then the
+  connection is torn down before the response is read
+  (:class:`AmbiguousFailure`).  The operation is recorded as pending
+  although it certainly *did* take effect: the checker must be happy to
+  linearize it somewhere after its call.
+* ``refuse`` — an injected pre-connect refusal
+  (:class:`ConnectFailed`), exercising the safe retry-with-backoff
+  path.
+* ``kill`` — not a transport fault: :class:`SutKiller` SIGKILLs the
+  service process once the recorder has seen a threshold of events,
+  after which surviving sessions drain and the trace is finalized as a
+  partial recording.
+
+``drop`` and ``disconnect`` are deliberately the two opposite
+resolutions of the same recorded artifact (a pending operation) — the
+differential suite in ``tests/live`` relies on that to prove the
+open-history semantics is exactly right: a correct service must never
+be failed whichever way the ambiguity actually resolved.
+
+All randomness is a seeded per-session :class:`random.Random`, so a
+campaign with a given ``--chaos-seed`` injects the same faults at the
+same points every run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.events import Invocation, Response
+from repro.live.transport import (
+    AmbiguousFailure,
+    ConnectFailed,
+    Transport,
+)
+
+__all__ = [
+    "CHAOS_MODES",
+    "ChaosConfig",
+    "ChaosTransport",
+    "SutKiller",
+    "parse_chaos",
+]
+
+CHAOS_MODES = ("latency", "drop", "disconnect", "refuse", "kill")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Which faults to inject, how often, and from what seed."""
+
+    modes: frozenset = field(default_factory=frozenset)
+    seed: int = 0
+    latency_prob: float = 0.25
+    latency_max: float = 0.02  #: seconds, uniform
+    drop_prob: float = 0.06
+    disconnect_prob: float = 0.06
+    refuse_prob: float = 0.05
+    #: ``kill`` mode: SIGKILL the SUT once this many events are recorded.
+    kill_after_events: int = 40
+
+    def enabled(self, mode: str) -> bool:
+        return mode in self.modes
+
+    def session_rng(self, session_index: int) -> random.Random:
+        """Deterministic per-session fault stream."""
+        return random.Random(f"chaos:{self.seed}:{session_index}")
+
+
+def parse_chaos(spec: str, seed: int = 0) -> ChaosConfig:
+    """Parse ``--chaos`` ("drop,latency", "all", or "none")."""
+    text = spec.strip().lower()
+    if text in ("", "none"):
+        return ChaosConfig(modes=frozenset(), seed=seed)
+    if text == "all":
+        return ChaosConfig(modes=frozenset(CHAOS_MODES), seed=seed)
+    modes = []
+    for part in text.split(","):
+        mode = part.strip()
+        if not mode:
+            continue
+        if mode not in CHAOS_MODES:
+            raise ValueError(
+                f"unknown chaos mode {mode!r} "
+                f"(choose from {', '.join(CHAOS_MODES)}, 'all', or 'none')"
+            )
+        modes.append(mode)
+    return ChaosConfig(modes=frozenset(modes), seed=seed)
+
+
+class ChaosTransport(Transport):
+    """A transport that misbehaves on purpose, deterministically."""
+
+    def __init__(
+        self, inner: Transport, config: ChaosConfig, rng: random.Random
+    ) -> None:
+        self.inner = inner
+        self.config = config
+        self.rng = rng
+        #: counters for the differential suite: what was injected.
+        self.injected: dict[str, int] = {m: 0 for m in CHAOS_MODES}
+
+    def _inject(self, mode: str) -> None:
+        self.injected[mode] += 1
+
+    def connect(self) -> None:
+        cfg = self.config
+        if cfg.enabled("refuse") and self.rng.random() < cfg.refuse_prob:
+            self._inject("refuse")
+            raise ConnectFailed("ChaosRefused")
+        self.inner.connect()
+
+    def call(self, invocation: Invocation) -> Response:
+        cfg = self.config
+        if cfg.enabled("latency") and self.rng.random() < cfg.latency_prob:
+            self._inject("latency")
+            time.sleep(self.rng.uniform(0.0, cfg.latency_max))
+        if cfg.enabled("drop") and self.rng.random() < cfg.drop_prob:
+            # The request never reaches the wire, but the client can't
+            # know that — it sees a timeout after the call was recorded.
+            self._inject("drop")
+            raise AmbiguousFailure("ChaosDrop")
+        response = self.inner.call(invocation)
+        if (
+            cfg.enabled("disconnect")
+            and self.rng.random() < cfg.disconnect_prob
+        ):
+            # The operation took effect server-side; the response is
+            # discarded and the connection torn down before the client
+            # learns the outcome.
+            self._inject("disconnect")
+            self.inner.reset()
+            raise AmbiguousFailure("ChaosDisconnect")
+        if cfg.enabled("latency") and self.rng.random() < cfg.latency_prob:
+            self._inject("latency")
+            time.sleep(self.rng.uniform(0.0, cfg.latency_max))
+        return response
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class SutKiller(threading.Thread):
+    """Kill the SUT process once the recorder has seen enough events.
+
+    Event-count (not wall-clock) triggering keeps the kill point
+    roughly aligned with campaign progress whatever the host's speed,
+    so the partial trace always has something worth checking.
+    """
+
+    def __init__(self, sut_process, recorder, after_events: int) -> None:
+        super().__init__(name="sut-killer", daemon=True)
+        self.sut_process = sut_process
+        self.recorder = recorder
+        self.after_events = after_events
+        self._halt = threading.Event()
+        self.fired = False
+
+    def run(self) -> None:
+        while not self._halt.wait(0.005):
+            if self.recorder.events >= self.after_events:
+                if self.sut_process.alive():
+                    self.sut_process.kill()
+                    self.fired = True
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5)

@@ -1,0 +1,302 @@
+"""The live campaign runner: record against a service, then check.
+
+:func:`run_live` is the whole pipeline: spawn N sessions against a
+target service (an address — the runner does not care whether it is the
+in-repo reference SUT or something external), record their histories
+through the wall-clock recorder, survive whatever the chaos layer and
+the real world do to the service, finalize the trace, and check it
+offline with the :mod:`repro.monitor` backend.
+
+Robustness contract (the point of this module):
+
+* **The campaign never hangs.**  Every transport call carries the
+  per-operation deadline, connection retries are bounded, and the
+  runner joins sessions against a global deadline derived from those
+  bounds; a wedged session is abandoned (daemon thread) and the trace
+  is finalized without it.
+* **A dying service degrades, not corrupts.**  The first session to
+  exhaust its connection backoff trips the drain event; the other
+  sessions stop at their next operation boundary, the partial trace is
+  finalized with an explicit outcome, and the checker runs on what was
+  recorded.
+* **Verdicts keep the established precedence** ``FAIL > CRASHED >
+  EXHAUSTED > PASS``: a violation found in a partial trace is still a
+  proof (FAIL); an *unexpected* service death is CRASHED; a checker
+  that hit its configuration cap is EXHAUSTED; only a fully drained,
+  fully checked campaign is PASS.  A chaos-injected kill is an
+  *expected* death: the verdict comes from the recorded prefix
+  (PASS/EXHAUSTED/FAIL), flagged partial — the correct reference SUT
+  must never be failed by the faults we ourselves injected.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.live.chaos import ChaosConfig, ChaosTransport, SutKiller
+from repro.live.recorder import LiveRecorder
+from repro.live.session import (
+    Session,
+    SessionConfig,
+    SessionStats,
+    make_workload,
+)
+from repro.live.transport import HttpTransport
+from repro.monitor import (
+    MonitorLimitError,
+    MonitorVerdict,
+    get_model,
+    load_trace,
+    monitor_history,
+)
+
+__all__ = ["LiveConfig", "LiveResult", "render_live_result", "run_live"]
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """One live campaign: who, how much, under what faults."""
+
+    model: str = "counter"
+    sessions: int = 4
+    ops: int = 25
+    op_timeout: float = 1.0
+    seed: int = 0
+    chaos: ChaosConfig | None = None
+    trace_out: str = "live.trace.jsonl"
+    max_configurations: int | None = 500_000
+    monitor_engine: str = "auto"
+    subject: str | None = None
+
+
+@dataclass
+class LiveResult:
+    """Outcome of one live campaign."""
+
+    verdict: str  #: PASS | FAIL | EXHAUSTED | CRASHED
+    trace_path: str
+    outcome: str  #: completed | drained | sut-died | killed-by-chaos | interrupted
+    partial: bool  #: True when the service did not survive the campaign
+    completed: int = 0
+    indeterminate: int = 0
+    errors: int = 0
+    connect_retries: int = 0
+    session_stats: list[SessionStats] = field(default_factory=list)
+    monitor: MonitorVerdict | None = None
+    injected: dict = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict == "FAIL"
+
+
+def _join_deadline(config: LiveConfig) -> float:
+    """An upper bound on how long a well-behaved campaign can take."""
+    session = SessionConfig(ops=config.ops, op_timeout=config.op_timeout)
+    backoff_total = session.backoff_cap * session.connect_attempts
+    per_op = config.op_timeout + backoff_total + 1.0
+    latency = 0.0
+    if config.chaos is not None and config.chaos.enabled("latency"):
+        latency = 2 * config.chaos.latency_max
+    return 10.0 + config.ops * (per_op + latency)
+
+
+def run_live(
+    host: str,
+    port: int,
+    config: LiveConfig,
+    *,
+    sut_process=None,
+    should_stop=None,
+) -> LiveResult:
+    """Run one live campaign against ``host:port`` and check the trace.
+
+    *sut_process* (a :class:`repro.live.refsut.RefSutProcess`, optional)
+    is only needed for the chaos ``kill`` mode and for telling an
+    expected death from an unexpected one.  *should_stop* is the CLI's
+    graceful-shutdown flag: polled between operations; when it trips,
+    sessions drain and the partial trace is checked normally, exactly as
+    for a service death.
+    """
+    model = get_model(config.model)
+    recorder = LiveRecorder(
+        config.trace_out,
+        config.sessions,
+        subject=config.subject,
+        model=config.model,
+    )
+    drain = threading.Event()
+    session_config = SessionConfig(ops=config.ops, op_timeout=config.op_timeout)
+    sessions: list[Session] = []
+    transports: list = []
+    for index in range(config.sessions):
+        transport = HttpTransport(host, port, timeout=config.op_timeout)
+        if config.chaos is not None and config.chaos.modes:
+            transport = ChaosTransport(
+                transport, config.chaos, config.chaos.session_rng(index)
+            )
+        transports.append(transport)
+        sessions.append(
+            Session(
+                index,
+                transport,
+                recorder,
+                make_workload(
+                    config.model,
+                    index,
+                    random.Random(f"workload:{config.seed}:{index}"),
+                ),
+                session_config,
+                drain,
+                rng=random.Random(f"backoff:{config.seed}:{index}"),
+            )
+        )
+
+    killer = None
+    if (
+        config.chaos is not None
+        and config.chaos.enabled("kill")
+        and sut_process is not None
+    ):
+        killer = SutKiller(
+            sut_process, recorder, config.chaos.kill_after_events
+        )
+
+    interrupted = False
+    for session in sessions:
+        session.start()
+    if killer is not None:
+        killer.start()
+    try:
+        deadline = _join_deadline(config)
+        end = time.monotonic() + deadline
+        for session in sessions:
+            while session.is_alive():
+                session.join(timeout=0.05)
+                if should_stop is not None and should_stop() and not drain.is_set():
+                    interrupted = True
+                    drain.set()
+                if session.stats.outcome == "connect-exhausted":
+                    # Graceful degradation: one session has proven the
+                    # service unreachable; tell the rest to drain.
+                    drain.set()
+                if time.monotonic() > end:
+                    # Belt and braces: abandon wedged sessions rather
+                    # than hang the campaign.
+                    drain.set()
+                    break
+    finally:
+        if killer is not None:
+            killer.stop()
+        # One session draining on connect-exhaustion must cascade even if
+        # the join loop exited early.
+        if any(s.stats.outcome == "connect-exhausted" for s in sessions):
+            drain.set()
+        for session in sessions:
+            session.join(timeout=2.0)
+
+    # -- classify how the campaign ended --------------------------------
+    died = sut_process is not None and not sut_process.alive()
+    expected_kill = died and getattr(sut_process, "killed_deliberately", False)
+    if interrupted:
+        outcome = "interrupted"
+    elif expected_kill:
+        outcome = "killed-by-chaos"
+    elif died:
+        outcome = "sut-died"
+    elif all(s.stats.outcome == "finished" for s in sessions):
+        outcome = "completed"
+    else:
+        outcome = "drained"
+    recorder.finalize(outcome)
+
+    result = LiveResult(
+        verdict="PASS",
+        trace_path=config.trace_out,
+        outcome=outcome,
+        partial=died or interrupted,
+        completed=recorder.completed,
+        indeterminate=recorder.indeterminate,
+        errors=sum(s.stats.errors for s in sessions),
+        connect_retries=sum(s.stats.connect_retries for s in sessions),
+        session_stats=[s.stats for s in sessions],
+    )
+    for transport in transports:
+        injected = getattr(transport, "injected", None)
+        if injected:
+            for mode, count in injected.items():
+                result.injected[mode] = result.injected.get(mode, 0) + count
+    if killer is not None and killer.fired:
+        result.injected["kill"] = result.injected.get("kill", 0) + 1
+
+    # -- check the recorded history offline -----------------------------
+    trace = load_trace(config.trace_out)
+    exhausted = False
+    verdict: MonitorVerdict | None = None
+    for history in trace.histories:
+        try:
+            verdict = monitor_history(
+                history,
+                model,
+                engine=config.monitor_engine,
+                max_configurations=config.max_configurations,
+            )
+        except MonitorLimitError:
+            exhausted = True
+            continue
+        if not verdict.ok:
+            break
+    result.monitor = verdict
+
+    # Verdict precedence: FAIL > CRASHED > EXHAUSTED > PASS.
+    if verdict is not None and not verdict.ok:
+        result.verdict = "FAIL"
+    elif died and not expected_kill:
+        result.verdict = "CRASHED"
+    elif exhausted:
+        result.verdict = "EXHAUSTED"
+    else:
+        result.verdict = "PASS"
+    return result
+
+
+def render_live_result(result: LiveResult) -> str:
+    """The human-readable campaign report."""
+    lines = [
+        f"live verdict: {result.verdict}"
+        + (" (partial: the service did not survive)" if result.partial else ""),
+        f"  outcome: {result.outcome}",
+        f"  trace: {result.trace_path}",
+        f"  operations: {result.completed} completed, "
+        f"{result.indeterminate} indeterminate, {result.errors} errors, "
+        f"{result.connect_retries} connection retries",
+    ]
+    if result.injected:
+        injected = ", ".join(
+            f"{mode}={count}"
+            for mode, count in sorted(result.injected.items())
+            if count
+        )
+        lines.append(f"  chaos injected: {injected or 'none'}")
+    for stats in result.session_stats:
+        lines.append(
+            f"  session {stats.index}: {stats.completed} ok, "
+            f"{stats.indeterminate} indeterminate ({stats.outcome})"
+        )
+    monitor = result.monitor
+    if monitor is not None and monitor.resolved_pending:
+        taken = sum(1 for _op, took in monitor.resolved_pending if took)
+        dropped = len(monitor.resolved_pending) - taken
+        lines.append(
+            f"  indeterminate resolution: {taken} linearized as effective, "
+            f"{dropped} as never-applied"
+        )
+    if monitor is not None and monitor.result is not None:
+        lines.append(
+            f"  monitor: engine {monitor.result.engine}, "
+            f"{monitor.result.configurations} configurations"
+        )
+    return "\n".join(lines)

@@ -36,6 +36,9 @@ from repro.monitor.specialized import specialized_check
 from repro.monitor.trace import (
     TRACE_FORMAT,
     TRACE_VERSION,
+    TRACE_VERSION_LIVE,
+    LiveTraceMeta,
+    LiveTraceWriter,
     TraceError,
     TraceWriter,
     default_trace_path,
@@ -63,6 +66,9 @@ __all__ = [
     "StuckMonitorResult",
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "TRACE_VERSION_LIVE",
+    "LiveTraceMeta",
+    "LiveTraceWriter",
     "TraceError",
     "TraceWriter",
     "check_history_against_model",

@@ -70,11 +70,28 @@ def check_history_against_model(
 
 @dataclass(frozen=True)
 class MonitorVerdict:
-    """Complete verdict of one history: linearization + blocking."""
+    """Complete verdict of one history: linearization + blocking.
+
+    Pending operations come in two flavours, with different obligations:
+
+    * in a **stuck** history the scheduler observed the operation
+      blocking, so the verdict additionally demands a blocking
+      justification (``stuck``);
+    * in an **open** history (a live recording with indeterminate
+      operations — timed-out or connection-dropped calls that may or may
+      not have taken effect) nothing was observed to block, so each
+      pending operation is simply free to linearize anywhere after its
+      call, or nowhere.  ``resolved_pending`` reports how the found
+      witness resolved each one: ``True`` means the witness linearized
+      it (the operation is assumed to have taken effect), ``False``
+      means the witness dropped it.
+    """
 
     result: MonitorResult
     #: blocking justification, run only for stuck histories.
     stuck: StuckMonitorResult | None = None
+    #: open-history pending ops paired with "did the witness take it".
+    resolved_pending: tuple[tuple[Operation, bool], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -86,6 +103,16 @@ class MonitorVerdict:
         return self.stuck.failed if self.stuck is not None else None
 
 
+def _resolve_pending(history: History, result: MonitorResult):
+    """Pair each pending op with whether the witness linearized it."""
+    if not result.ok or result.witness is None:
+        return ()
+    taken = {op.key for op, _resp in result.witness}
+    return tuple(
+        (op, op.key in taken) for op in history.pending_operations
+    )
+
+
 def monitor_history(
     history: History,
     model: SequentialModel,
@@ -93,13 +120,23 @@ def monitor_history(
     engine: str = "auto",
     max_configurations: int | None = None,
 ) -> MonitorVerdict:
-    """Check one history end to end against *model*."""
+    """Check one history end to end against *model*.
+
+    Stuck histories get the blocking-justification pass on top of the
+    linearization check; open histories (pending operations without an
+    observed block — the indeterminate-operation regime of live
+    recordings) skip it and instead report how the witness resolved each
+    pending operation.
+    """
     result = check_history_against_model(
         history, model, engine=engine, max_configurations=max_configurations
     )
     stuck: StuckMonitorResult | None = None
+    resolved: tuple[tuple[Operation, bool], ...] = ()
     if result.ok and history.stuck:
         stuck = check_stuck_history_model(
             history, model, max_configurations=max_configurations
         )
-    return MonitorVerdict(result=result, stuck=stuck)
+    elif not history.stuck and history.pending_operations:
+        resolved = _resolve_pending(history, result)
+    return MonitorVerdict(result=result, stuck=stuck, resolved_pending=resolved)

@@ -2,13 +2,15 @@
 
 The monitoring engine's input does not have to come from our scheduler —
 a production log, a crash-quarantine artifact, or another tool can all
-supply histories.  This module defines the interchange format:
+supply histories.  This module defines the interchange format, in two
+versions that share line 1 (the envelope header, following the PR 3
+conventions of :mod:`repro.core.observations`).
 
-* **line 1** — the envelope header, following the PR 3 conventions of
-  :mod:`repro.core.observations`: ``{"format": "lineup-trace",
-  "version": 1, "n_threads": N, "subject": ..., "test": ...}`` where
-  ``subject`` is a display name and ``test`` the serialized finite test
-  (both optional).
+**Version 1 — history mode** (the scheduler dump format):
+
+* **line 1** — ``{"format": "lineup-trace", "version": 1,
+  "n_threads": N, "subject": ..., "test": ...}`` where ``subject`` is a
+  display name and ``test`` the serialized finite test (both optional).
 * **every further line** — one history: ``{"stuck": bool, "divergent":
   bool, "events": [...]}`` with call events ``{"e": "c", "t": thread,
   "i": op_index, "m": method, "a": "<repr of args tuple>"}`` and return
@@ -18,11 +20,42 @@ supply histories.  This module defines the interchange format:
   round-trip every other artifact in this repo uses; ``raised`` values
   are plain exception-name strings.
 
-JSONL + append-only makes the writer crash-safe by construction: each
-``write`` is one line followed by a flush, so a crash can lose at most
-the line being written.  The loader accepts a truncated *final* line for
-exactly that reason (and only the final line — corruption anywhere else
-raises :class:`TraceError`).
+**Version 2 — live mode** (the :mod:`repro.live` wall-clock recorder):
+
+* **line 1** — ``{"format": "lineup-trace", "version": 2, "mode":
+  "live", "sessions": N, "subject": ..., "model": ...}``.
+* **every further line** is one *event*, appended the moment it happens
+  (an interrupted recording is a loadable prefix):
+
+  - calls/returns use the version-1 event objects plus a ``"ts"`` key —
+    seconds on a monotonic clock since the recording started;
+  - ``{"e": "x", "t": ..., "i": ..., "why": ..., "ts": ...}`` marks an
+    operation *indeterminate*: the client timed out or lost its
+    connection after the request may have been sent, so whether the
+    operation took effect is unknowable.  The marker is an annotation —
+    the operation simply never gets a return event, so it loads as a
+    **pending** operation and is checked under the open-history
+    semantics of :mod:`repro.monitor.wgl` (it may take effect anywhere
+    after its call, or not at all);
+  - ``{"e": "end", "outcome": ..., "ts": ...}`` finalizes the recording
+    (``outcome`` is ``"drained"``, ``"sut-died"``, ...).  A missing end
+    marker means the recorder itself died; the prefix still loads, with
+    ``LiveTraceMeta.finalized`` False.
+
+  The whole file describes **one** history: the per-line events in file
+  order, with every call that has no matching return left pending.  The
+  recorder appends the call line *before* sending the request and the
+  return line *after* receiving the response, so the recorded interval
+  of every operation contains the real one — any precedence edge in
+  the loaded history is a true real-time edge, which is what makes a
+  FAIL verdict on a live trace sound.
+
+JSONL + append-only makes both writers crash-safe by construction: each
+write is one line followed by a flush, so a crash can lose at most the
+line being written.  The loader accepts a truncated *final* line for
+exactly that reason (and only the final line — corruption anywhere else,
+including the torn interleavings produced by two concurrent writers
+sharing one path, raises :class:`TraceError`).
 
 :func:`default_trace_path` derives a deterministic filename from the
 subject and test (a content hash), so two cooperating processes — the
@@ -36,6 +69,7 @@ import ast
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import IO, Any, Iterable
 
@@ -45,6 +79,9 @@ from repro.core.history import History
 __all__ = [
     "TRACE_FORMAT",
     "TRACE_VERSION",
+    "TRACE_VERSION_LIVE",
+    "LiveTraceMeta",
+    "LiveTraceWriter",
     "TraceError",
     "TraceFile",
     "TraceWriter",
@@ -56,6 +93,9 @@ __all__ = [
 
 TRACE_FORMAT = "lineup-trace"
 TRACE_VERSION = 1
+#: The live event-per-line format written by :mod:`repro.live`.
+TRACE_VERSION_LIVE = 2
+_SUPPORTED_VERSIONS = (TRACE_VERSION, TRACE_VERSION_LIVE)
 
 
 class TraceError(Exception):
@@ -134,6 +174,31 @@ def record_to_history(record: dict, n_threads: int) -> History:
 
 
 @dataclass
+class LiveTraceMeta:
+    """Version-2 metadata: what the wall-clock recorder saw.
+
+    Everything here is *annotation* — the checkable history is carried by
+    the call/return events alone.  ``indeterminate`` lists the
+    ``(thread, op_index, why)`` markers; ``intervals`` maps operation
+    keys to ``(ts_call, ts_return_or_None)`` monotonic-clock pairs.
+    """
+
+    sessions: int
+    model: str | None = None
+    #: "drained", "sut-died", ... — None when no end marker was found
+    #: (the recorder itself died mid-recording).
+    outcome: str | None = None
+    indeterminate: list[tuple[int, int, str]] = field(default_factory=list)
+    intervals: dict[tuple[int, int], tuple[float, float | None]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def finalized(self) -> bool:
+        return self.outcome is not None
+
+
+@dataclass
 class TraceFile:
     """A loaded trace: the header metadata plus the histories, in order."""
 
@@ -145,6 +210,10 @@ class TraceFile:
     verdicts: list[str | None] = field(default_factory=list)
     #: True when the final line was truncated (interrupted writer).
     truncated: bool = False
+    #: header version the file was written with.
+    version: int = TRACE_VERSION
+    #: version-2 recordings only: the live-recording metadata.
+    live: LiveTraceMeta | None = None
 
     def __len__(self) -> int:
         return len(self.histories)
@@ -203,18 +272,140 @@ class TraceWriter:
         self.close()
 
 
+class LiveTraceWriter:
+    """Append version-2 live events to a JSONL trace, one flushed line each.
+
+    Thread-safe: concurrent sessions append through one lock, so file
+    order is a real interleaving of the append calls.  Each line is
+    flushed to the OS immediately (crash loses at most the line being
+    written); :meth:`finalize` additionally fsyncs so the end marker
+    survives a machine crash.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        sessions: int,
+        *,
+        subject: str | None = None,
+        model: str | None = None,
+    ) -> None:
+        self.path = path
+        self.events = 0
+        self._lock = threading.Lock()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+        header: dict[str, Any] = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION_LIVE,
+            "mode": "live",
+            "sessions": sessions,
+        }
+        if subject is not None:
+            header["subject"] = subject
+        if model is not None:
+            header["model"] = model
+        self._emit(header)
+        self.events = 0  # the header is not an event
+
+    def _emit(self, obj: dict) -> None:
+        with self._lock:
+            if self._handle is None:
+                raise TraceError(
+                    f"live trace {self.path!r} is already finalized"
+                )
+            self._handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
+            self._handle.flush()
+            self.events += 1
+
+    def record_call(
+        self, thread: int, op_index: int, invocation: Invocation, ts: float
+    ) -> None:
+        obj: dict[str, Any] = {
+            "e": "c",
+            "t": thread,
+            "i": op_index,
+            "m": invocation.method,
+            "a": repr(tuple(invocation.args)),
+            "ts": ts,
+        }
+        if invocation.target is not None:
+            obj["g"] = invocation.target
+        self._emit(obj)
+
+    def record_return(
+        self, thread: int, op_index: int, response: Response, ts: float
+    ) -> None:
+        value = (
+            str(response.value)
+            if response.kind == "raised"
+            else repr(response.value)
+        )
+        self._emit(
+            {
+                "e": "r",
+                "t": thread,
+                "i": op_index,
+                "k": response.kind,
+                "v": value,
+                "ts": ts,
+            }
+        )
+
+    def record_indeterminate(
+        self, thread: int, op_index: int, why: str, ts: float
+    ) -> None:
+        """Mark an operation as possibly-effective-but-unobserved.
+
+        Annotation only: the operation stays pending (no return event is
+        ever written for it) and is checked under the open-history
+        semantics.
+        """
+        self._emit({"e": "x", "t": thread, "i": op_index, "why": why, "ts": ts})
+
+    def finalize(self, outcome: str, ts: float) -> None:
+        """Write the end marker, fsync, and close the file."""
+        self._emit({"e": "end", "outcome": outcome, "ts": ts})
+        self.close(sync=True)
+
+    def close(self, sync: bool = False) -> None:
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "LiveTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _read_lines(path: str) -> list[str]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read().splitlines()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path!r}: {exc}") from exc
+
+
 def load_trace(path: str) -> TraceFile:
     """Read a trace file; raises :class:`TraceError` on anything malformed.
 
-    A truncated final line (the writer died mid-record) is tolerated and
-    flagged via ``TraceFile.truncated`` — every complete record before it
-    is returned.
+    Understands both supported versions (1: history per line; 2: live
+    event per line).  A truncated final line (the writer died mid-record)
+    is tolerated and flagged via ``TraceFile.truncated`` — every complete
+    record before it is returned.  Corruption anywhere else — including a
+    record torn mid-line by a second concurrent writer — raises
+    :class:`TraceError` naming the offending line; a trace never loads as
+    silent garbage.
     """
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            lines = handle.read().splitlines()
-    except OSError as exc:
-        raise TraceError(f"cannot read trace file {path!r}: {exc}") from exc
+    lines = _read_lines(path)
     if not lines:
         raise TraceError(f"trace file {path!r} is empty (no header)")
     try:
@@ -229,11 +420,18 @@ def load_trace(path: str) -> TraceFile:
             else f"trace file {path!r} has a malformed header"
         )
     version = header.get("version")
-    if version != TRACE_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise TraceError(
             f"trace file version {version!r} is not supported "
-            f"(this reader understands version {TRACE_VERSION})"
+            f"(this reader understands versions "
+            f"{', '.join(str(v) for v in _SUPPORTED_VERSIONS)})"
         )
+    if version == TRACE_VERSION_LIVE:
+        return _load_live_trace(path, header, lines)
+    return _load_history_trace(path, header, lines)
+
+
+def _load_history_trace(path: str, header: dict, lines: list[str]) -> TraceFile:
     try:
         n_threads = int(header["n_threads"])
     except (KeyError, TypeError, ValueError) as exc:
@@ -266,6 +464,130 @@ def load_trace(path: str) -> TraceFile:
             ) from None
         trace.histories.append(history)
         trace.verdicts.append(record.get("verdict"))
+    return trace
+
+
+def _load_live_trace(path: str, header: dict, lines: list[str]) -> TraceFile:
+    """Assemble the single history of a version-2 live recording.
+
+    Validation is deliberately strict: a duplicate call for an operation
+    key, a return or indeterminate marker without a matching open call,
+    or events after the end marker all raise :class:`TraceError` — those
+    are exactly the shapes a second concurrent writer (or a buggy
+    recorder) produces, and blending them into a verdict would be
+    unsound.
+    """
+    try:
+        sessions = int(header["sessions"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(
+            f"trace file {path!r} header lacks a valid sessions count"
+        ) from exc
+    meta = LiveTraceMeta(sessions=sessions, model=header.get("model"))
+    trace = TraceFile(
+        n_threads=sessions,
+        subject=header.get("subject"),
+        version=TRACE_VERSION_LIVE,
+        live=meta,
+    )
+
+    events: list[Event] = []
+    open_calls: set[tuple[int, int]] = set()
+    closed: set[tuple[int, int]] = set()
+    truncated = False
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        last = number == len(lines)
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            if last:
+                truncated = True
+                break
+            raise TraceError(
+                f"trace file {path!r} line {number} is corrupt"
+            ) from None
+        if not isinstance(obj, dict):
+            raise TraceError(
+                f"trace file {path!r} line {number} is not an event object"
+            )
+        if obj.get("format") == TRACE_FORMAT:
+            raise TraceError(
+                f"trace file {path!r} line {number}: a second trace header "
+                "mid-stream (two writers sharing one trace?)"
+            )
+        if meta.outcome is not None:
+            raise TraceError(
+                f"trace file {path!r} line {number}: event after the end "
+                "marker (two writers sharing one trace?)"
+            )
+        kind = obj.get("e")
+        try:
+            if kind == "end":
+                meta.outcome = str(obj["outcome"])
+                continue
+            thread = int(obj["t"])
+            ts = float(obj.get("ts", 0.0))
+            if kind == "x":
+                key = (thread, int(obj["i"]))
+                if key not in open_calls:
+                    raise TraceError(
+                        f"trace file {path!r} line {number}: indeterminate "
+                        f"marker for operation {key} which has no open call"
+                    )
+                meta.indeterminate.append((key[0], key[1], str(obj["why"])))
+                continue
+            event = _event_from_obj(obj)
+        except TraceError:
+            raise
+        except (KeyError, TypeError, ValueError, SyntaxError) as exc:
+            if last:
+                truncated = True
+                break
+            raise TraceError(
+                f"trace file {path!r} line {number} is malformed: {exc}"
+            ) from None
+        key = (event.thread, event.op_index)
+        if event.is_call:
+            if key in open_calls or key in closed:
+                raise TraceError(
+                    f"trace file {path!r} line {number}: duplicate call for "
+                    f"operation {key} (two writers sharing one trace?)"
+                )
+            if any(open_key[0] == event.thread for open_key in open_calls):
+                # The recorder retires a logical thread the moment one of
+                # its operations goes indeterminate; a second open call on
+                # the same thread cannot come from one well-behaved writer.
+                raise TraceError(
+                    f"trace file {path!r} line {number}: thread "
+                    f"{event.thread} issued a call while one is still open "
+                    "(two writers sharing one trace?)"
+                )
+            open_calls.add(key)
+            meta.intervals[key] = (ts, None)
+        else:
+            if key not in open_calls:
+                raise TraceError(
+                    f"trace file {path!r} line {number}: return for "
+                    f"operation {key} which has no open call"
+                )
+            open_calls.discard(key)
+            closed.add(key)
+            meta.intervals[key] = (meta.intervals[key][0], ts)
+        events.append(event)
+
+    trace.truncated = truncated
+    n_threads = max(
+        sessions, 1 + max((e.thread for e in events), default=-1)
+    )
+    trace.n_threads = n_threads
+    # One history for the whole recording; calls that never returned are
+    # pending and checked under the open-history (may-or-may-not-have-
+    # taken-effect) semantics.  Not "stuck": nothing was observed to
+    # block, so no blocking justification is demanded.
+    trace.histories.append(History(events, n_threads=n_threads, stuck=False))
+    trace.verdicts.append(None)
     return trace
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import signal
 import subprocess
 import sys
@@ -177,3 +178,63 @@ class TestGracefulShutdown:
         resumed = _run_cli(["resume", interrupted_ck])
         assert resumed.returncode == 1, resumed.stdout + resumed.stderr
         assert _stable_rows(interrupted_ck) == _stable_rows(reference_ck)
+
+
+class TestExitCodeContract:
+    """The exit-code tables in the docs are pinned to the single source.
+
+    ``repro.cli.EXIT_CODE_MEANINGS`` is the contract; README.md and
+    docs/ROBUSTNESS.md each carry a human-facing table of it.  These
+    tests fail whenever a code is added, removed or renumbered in one
+    place without the others following — the drift guard promised by
+    the comment on ``EXIT_CODE_MEANINGS``.
+    """
+
+    @staticmethod
+    def _doc_table(path):
+        """Parse ``| `CODE` | meaning |`` rows following an exit-code header."""
+        text = (REPO_ROOT / path).read_text(encoding="utf-8")
+        rows = {}
+        in_table = False
+        for line in text.splitlines():
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            if len(cells) == 2 and cells[0].lower() == "exit code":
+                in_table = True
+                continue
+            if in_table:
+                if len(cells) != 2 or set(cells[0]) <= {"-"}:
+                    if cells == [""] or len(cells) != 2:
+                        in_table = False
+                    continue
+                code = cells[0].strip("`")
+                if code.isdigit():
+                    rows[int(code)] = cells[1]
+        return rows
+
+    def test_readme_table_matches_exactly(self):
+        from repro.cli import EXIT_CODE_MEANINGS
+
+        table = self._doc_table("README.md")
+        assert table == EXIT_CODE_MEANINGS
+
+    def test_robustness_table_covers_every_code(self):
+        from repro.cli import EXIT_CODE_MEANINGS
+
+        table = self._doc_table("docs/ROBUSTNESS.md")
+        assert set(table) == set(EXIT_CODE_MEANINGS)
+        # ROBUSTNESS.md elaborates each meaning rather than quoting it,
+        # so pin the canonical vocabulary instead of the exact string:
+        # every significant word of the canonical meaning must survive.
+        for code, meaning in EXIT_CODE_MEANINGS.items():
+            doc_row = table[code].lower()
+            for word in re.findall(r"[A-Za-z]{4,}", meaning):
+                assert word.lower() in doc_row, (
+                    f"docs/ROBUSTNESS.md row for exit {code} lost the word "
+                    f"{word!r} from the canonical meaning {meaning!r}"
+                )
+
+    def test_help_epilog_lists_every_code(self):
+        from repro.cli import EXIT_CODE_MEANINGS, _EXIT_CODE_HELP
+
+        for code, meaning in EXIT_CODE_MEANINGS.items():
+            assert f"{code} = {meaning}" in _EXIT_CODE_HELP

@@ -1,0 +1,26 @@
+"""Shared fixtures for the live-checking suite.
+
+Everything here favours the in-process reference SUT (fast, no spawn
+cost); the few tests that need a killable SUT spawn the process variant
+themselves and are marked accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live import start_server
+
+
+@pytest.fixture()
+def correct_sut():
+    with start_server("correct") as sut:
+        yield sut
+
+
+@pytest.fixture()
+def buggy_sut():
+    # A generous race window keeps the seeded bugs reproducible on slow
+    # CI machines without slowing the whole suite down.
+    with start_server("buggy", race_window=0.01) as sut:
+        yield sut

@@ -1,0 +1,92 @@
+"""The ``live`` subcommand end to end, through ``repro.cli.main``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_EXHAUSTED,
+    EXIT_FAIL,
+    EXIT_PASS,
+    EXIT_USAGE,
+    main,
+)
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestLiveCommand:
+    def test_correct_refsut_passes(self, tmp_path, capsys):
+        code = run_cli(
+            "live", "--variant", "correct", "--model", "counter",
+            "--sessions", "3", "--ops", "8",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_PASS
+        assert "live verdict: PASS" in out
+        assert (tmp_path / "t.jsonl").exists()
+
+    def test_buggy_refsut_fails_with_json(self, tmp_path, capsys):
+        code = None
+        for seed in range(4):
+            code = run_cli(
+                "live", "--variant", "buggy", "--model", "counter",
+                "--sessions", "4", "--ops", "15",
+                "--seed", str(seed), "--race-window", "0.02",
+                "--trace-out", str(tmp_path / "t.jsonl"), "--json",
+            )
+            if code == EXIT_FAIL:
+                break
+        assert code == EXIT_FAIL
+        payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert payload["verdict"] == "FAIL"
+        assert payload["trace"].endswith("t.jsonl")
+
+    def test_chaos_campaign_passes_and_reports_injection(
+        self, tmp_path, capsys
+    ):
+        code = run_cli(
+            "live", "--variant", "correct", "--model", "counter",
+            "--sessions", "3", "--ops", "8",
+            "--chaos", "drop,latency", "--chaos-seed", "2",
+            "--trace-out", str(tmp_path / "t.jsonl"), "--json",
+        )
+        payload = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert code in (EXIT_PASS, EXIT_EXHAUSTED)
+        assert payload["verdict"] in ("PASS", "EXHAUSTED")
+
+    def test_recorded_trace_feeds_monitor(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert run_cli(
+            "live", "--variant", "correct", "--model", "queue",
+            "--sessions", "2", "--ops", "6", "--trace-out", trace,
+        ) == EXIT_PASS
+        capsys.readouterr()
+        code = run_cli("monitor", trace, "--model", "queue")
+        out = capsys.readouterr().out
+        assert code == EXIT_PASS
+        assert "verdict: PASS" in out
+
+    def test_url_mode_against_external_service(self, correct_sut, capsys,
+                                               tmp_path):
+        code = run_cli(
+            "live", "--url", f"127.0.0.1:{correct_sut.port}",
+            "--model", "counter", "--sessions", "2", "--ops", "5",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        )
+        assert code == EXIT_PASS
+
+    @pytest.mark.parametrize("argv,message", [
+        (("live", "--chaos", "gremlins"), "unknown chaos mode"),
+        (("live", "--url", "nowhere", "--chaos", "drop"), "HOST:PORT"),
+        (("live", "--url", "localhost:1", "--chaos", "kill"),
+         "spawned by this process"),
+    ])
+    def test_usage_errors(self, argv, message, capsys):
+        assert run_cli(*argv) == EXIT_USAGE
+        assert message in capsys.readouterr().err

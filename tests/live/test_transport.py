@@ -1,0 +1,88 @@
+"""The transport layer's typed failure split — the soundness linchpin."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.events import Invocation
+from repro.live import AmbiguousFailure, ConnectFailed, HttpTransport
+
+
+def _claim_dead_port() -> int:
+    """A port with nothing listening on it."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestConnectFailed:
+    def test_refused_connection_is_pre_invocation(self):
+        transport = HttpTransport("127.0.0.1", _claim_dead_port(), timeout=0.5)
+        with pytest.raises(ConnectFailed):
+            transport.connect()
+
+    def test_call_without_connect_is_pre_invocation(self):
+        transport = HttpTransport("127.0.0.1", _claim_dead_port())
+        with pytest.raises(ConnectFailed):
+            transport.call(Invocation("inc"))
+
+    def test_connect_is_idempotent(self, correct_sut):
+        transport = HttpTransport("127.0.0.1", correct_sut.port)
+        transport.connect()
+        transport.connect()  # keep-alive: no second connection attempt
+        assert transport.call(Invocation("get")).value == 0
+        transport.close()
+
+
+class TestAmbiguousFailure:
+    def test_timeout_after_send_is_ambiguous(self):
+        # A server that accepts the connection, reads the request, and
+        # never answers: the request *was* delivered, so the failure must
+        # be classified post-invocation.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def server():
+            conn, _ = listener.accept()
+            accepted.append(conn)
+            conn.recv(65536)  # swallow the request, never respond
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        transport = HttpTransport("127.0.0.1", port, timeout=0.2)
+        try:
+            transport.connect()
+            with pytest.raises(AmbiguousFailure) as excinfo:
+                transport.call(Invocation("inc"))
+            assert excinfo.value.why  # carries the failure class name
+        finally:
+            transport.close()
+            for conn in accepted:
+                conn.close()
+            listener.close()
+
+    def test_ambiguous_failure_resets_connection(self, correct_sut):
+        transport = HttpTransport("127.0.0.1", correct_sut.port)
+        transport.connect()
+        transport._conn.close()  # simulate a mid-exchange reset
+        with pytest.raises(AmbiguousFailure):
+            transport.call(Invocation("inc"))
+        assert transport._conn is None  # reset: next connect starts clean
+        transport.connect()
+        assert transport.call(Invocation("get")).value in (0, 1)
+        transport.close()
+
+    def test_retrying_ambiguous_would_be_unsound(self):
+        # The hierarchy is the contract: ambiguous failures are NOT
+        # connection failures, so retry loops keyed on ConnectFailed can
+        # never swallow them.
+        assert not issubclass(AmbiguousFailure, ConnectFailed)
+        assert not issubclass(ConnectFailed, AmbiguousFailure)

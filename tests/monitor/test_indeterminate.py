@@ -1,0 +1,104 @@
+"""Open-history (indeterminate-operation) semantics in the dispatcher.
+
+An indeterminate operation — timed out or connection-dropped in a live
+recording — is a pending op in a non-stuck history.  The checker must
+admit both resolutions (took effect / never happened), report which one
+the witness chose, and never demand a blocking justification for it.
+"""
+
+from __future__ import annotations
+
+from repro.monitor import get_model, monitor_history
+
+from .conftest import call, hist, ret
+
+
+class TestOpenHistory:
+    def test_pending_op_may_have_taken_effect(self):
+        # get() == 1 is only explainable if the pending inc landed.
+        history = hist(
+            call(0, 0, "inc"),  # never returns: indeterminate
+            call(1, 0, "get"),
+            ret(1, 0, 1),
+        )
+        verdict = monitor_history(history, get_model("counter"))
+        assert verdict.ok
+        assert verdict.stuck is None  # no blocking obligation
+        assert len(verdict.resolved_pending) == 1
+        op, taken = verdict.resolved_pending[0]
+        assert op.invocation.method == "inc"
+        assert taken  # the witness had to take it
+
+    def test_pending_op_may_never_have_happened(self):
+        # get() == 0 forces the opposite resolution: the inc was dropped.
+        history = hist(
+            call(0, 0, "inc"),
+            call(1, 0, "get"),
+            ret(1, 0, 0),
+        )
+        verdict = monitor_history(history, get_model("counter"))
+        assert verdict.ok
+        op, taken = verdict.resolved_pending[0]
+        assert not taken
+
+    def test_pending_op_cannot_rescue_a_violation(self):
+        # Soundness: two completed gets jump 0 -> 2 with only ONE
+        # (pending) inc available — no placement of it explains both.
+        history = hist(
+            call(0, 0, "inc"),
+            call(1, 0, "get"),
+            ret(1, 0, 0),
+            call(1, 1, "get"),
+            ret(1, 1, 2),
+        )
+        verdict = monitor_history(history, get_model("counter"))
+        assert not verdict.ok
+
+    def test_pending_op_must_respect_its_call_time(self):
+        # The pending op's call happened AFTER the get returned, so it
+        # cannot be linearized before the get: get() == 1 is a violation
+        # even though "inc then get" would be fine without real time.
+        history = hist(
+            call(1, 0, "get"),
+            ret(1, 0, 1),
+            call(0, 0, "inc"),  # called strictly later, never returned
+        )
+        verdict = monitor_history(history, get_model("counter"))
+        assert not verdict.ok
+
+    def test_multiple_indeterminates_resolved_independently(self):
+        # Three retired-thread incs, final get sees exactly one of them.
+        history = hist(
+            call(0, 0, "inc"),
+            call(1, 0, "inc"),
+            call(2, 0, "inc"),
+            call(3, 0, "get"),
+            ret(3, 0, 1),
+            n=4,
+        )
+        verdict = monitor_history(history, get_model("counter"))
+        assert verdict.ok
+        taken = [took for _op, took in verdict.resolved_pending]
+        assert taken.count(True) == 1
+        assert taken.count(False) == 2
+
+    def test_closed_history_reports_no_resolution(self):
+        history = hist(call(0, 0, "inc"), ret(0, 0))
+        verdict = monitor_history(history, get_model("counter"))
+        assert verdict.ok
+        assert verdict.resolved_pending == ()
+
+    def test_stuck_history_still_gets_blocking_check(self):
+        # The open-history path must not leak into the stuck regime:
+        # a counter operation is never allowed to block, so a stuck
+        # history with a pending inc fails the blocking justification.
+        history = hist(
+            call(0, 0, "inc"),
+            call(1, 0, "get"),
+            ret(1, 0, 0),
+            stuck=True,
+        )
+        verdict = monitor_history(history, get_model("counter"))
+        assert verdict.stuck is not None
+        assert not verdict.ok
+        assert verdict.failed_pending is not None
