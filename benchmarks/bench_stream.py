@@ -1,0 +1,286 @@
+"""Streaming-monitor benchmark: online throughput, bounded memory, shards.
+
+Three sections, written to ``BENCH_stream.json`` via ``benchlib``:
+
+* **throughput** — a long v2 counter trace fed through
+  :class:`repro.stream.StreamChecker`; asserts the single-shard engine
+  sustains at least 10^4 checked operations per second (the acceptance
+  floor of the streaming-monitor work).
+* **bounded_memory** — the same engine over a trace whose length is far
+  larger than its concurrency window; asserts ``max_frontier`` equals
+  the window (retirement works) and records the live-configuration and
+  RSS high-water marks, which must not scale with trace length.
+* **shard_scaling** — a per-key dictionary trace checked in-process
+  (the single-shard baseline) and then fanned across the worker pool
+  at increasing shard counts.  Verdicts and cell counts are asserted
+  equal; wall-clock per configuration is recorded, not asserted —
+  near-linear scaling is only expected up to the machine's core count,
+  and on a single-core CI runner the sharded rows mostly measure pool
+  supervision overhead (the snapshot is the artifact).
+
+``--quick`` shrinks every section for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.events import Invocation, Response
+from repro.monitor import get_model
+from repro.monitor.trace import LiveTraceWriter
+from repro.stream import StreamChecker, WatchConfig, watch_sharded, watch_trace
+from repro.stream.stats import maxrss_kb
+
+#: Section sizes per mode.  The quick trace is still long enough that an
+#: engine leaking state per retired operation would blow its assertions.
+MODES = {
+    "quick": {
+        "throughput_ops": 5_000,
+        "memory_ops": 5_000,
+        "window": 4,
+        "keys": 8,
+        "rounds": 50,
+        "shard_counts": [2],
+    },
+    "full": {
+        "throughput_ops": 50_000,
+        "memory_ops": 50_000,
+        "window": 4,
+        "keys": 16,
+        "rounds": 400,
+        "shard_counts": [2, 4],
+    },
+}
+
+THROUGHPUT_FLOOR_PER_SEC = 10_000
+
+
+def ok(value=None) -> Response:
+    return Response("ok", value)
+
+
+def write_counter_trace(path: str, ops: int, window: int) -> None:
+    """``ops`` increments from ``window`` threads, all windows full.
+
+    Every round opens all ``window`` calls before closing any, so the
+    frontier is pinned at exactly ``window`` — ``inc`` returns ok(None)
+    under every interleaving, keeping the trace valid by construction.
+    """
+    writer = LiveTraceWriter(
+        path, sessions=window, model="counter", flush_every_n=1_000
+    )
+    op_index = [0] * window
+    rounds = ops // window
+    for _ in range(rounds):
+        for thread in range(window):
+            writer.record_call(
+                thread, op_index[thread], Invocation("inc", ()), 0.0
+            )
+        for thread in range(window):
+            writer.record_return(thread, op_index[thread], ok(None), 0.0)
+            op_index[thread] += 1
+    writer.finalize("drained", 1.0)
+
+
+def write_dict_trace(path: str, keys: int, rounds: int) -> None:
+    """One session per key cycling add / contains / remove."""
+    writer = LiveTraceWriter(
+        path, sessions=keys, model="dict", flush_every_n=1_000
+    )
+    for rnd in range(rounds):
+        for k in range(keys):
+            base = rnd * 3
+            key = f"key-{k}"
+            for offset, (inv, resp) in enumerate(
+                [
+                    (Invocation("TryAdd", (key,)), ok(True)),
+                    (Invocation("ContainsKey", (key,)), ok(True)),
+                    # TryRemove yields the removed value (= the key, by
+                    # the model's value-defaulting convention).
+                    (Invocation("TryRemove", (key,)), ok(key)),
+                ]
+            ):
+                writer.record_call(k, base + offset, inv, 0.0)
+                writer.record_return(k, base + offset, resp, 0.0)
+    writer.finalize("drained", 1.0)
+
+
+def feed_file(checker: StreamChecker, path: str) -> float:
+    """Line-at-a-time feed, JSON parse included — that is what a live
+    follower pays per event, and nothing but the checker accumulates."""
+    t0 = time.perf_counter()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if not checker.feed(json.loads(line)):
+                break
+    return time.perf_counter() - t0
+
+
+def bench_throughput(tmp, ops: int, window: int) -> dict:
+    path = os.path.join(tmp, "throughput.jsonl")
+    write_counter_trace(path, ops, window)
+    checker = StreamChecker(get_model("counter"))
+    seconds = feed_file(checker, path)
+    assert checker.verdict == "PASS", checker.verdict
+    done = checker.counters.returns
+    per_sec = done / seconds if seconds else float("inf")
+    assert per_sec >= THROUGHPUT_FLOOR_PER_SEC, (
+        f"single-shard throughput {per_sec:.0f} ops/s is below the "
+        f"{THROUGHPUT_FLOOR_PER_SEC} floor"
+    )
+    return {
+        "ops": done,
+        "window": window,
+        "seconds": seconds,
+        "ops_per_sec": per_sec,
+    }
+
+
+def bench_bounded_memory(tmp, ops: int, window: int) -> dict:
+    path = os.path.join(tmp, "memory.jsonl")
+    write_counter_trace(path, ops, window)
+    rss_before = maxrss_kb()
+    checker = StreamChecker(get_model("counter"))
+    max_live_configs = 0
+    t0 = time.perf_counter()
+    with open(path, encoding="utf-8") as handle:
+        for index, line in enumerate(handle):
+            checker.feed(json.loads(line))
+            if index % 97 == 0:  # sampled: configs must stay O(window)
+                max_live_configs = max(
+                    max_live_configs, checker.live_configs()
+                )
+    seconds = time.perf_counter() - t0
+    max_live_configs = max(max_live_configs, checker.live_configs())
+    stats = checker.stats()
+    assert checker.verdict == "PASS", checker.verdict
+    # Retirement keeps the frontier at the concurrency window and
+    # drains it completely once the writer's windows close.
+    assert stats["max_frontier"] == window, stats
+    assert stats["frontier"] == 0, stats
+    return {
+        "ops": checker.counters.returns,
+        "window": window,
+        "seconds": seconds,
+        "max_frontier": stats["max_frontier"],
+        "max_live_configs": max_live_configs,
+        "max_retirement_lag": stats["max_retirement_lag"],
+        "memory_kb_high_water": maxrss_kb(),
+        "memory_kb_before": rss_before,
+    }
+
+
+def bench_shard_scaling(tmp, keys: int, rounds: int, shard_counts) -> dict:
+    path = os.path.join(tmp, "dict.jsonl")
+    write_dict_trace(path, keys, rounds)
+
+    t0 = time.perf_counter()
+    baseline = watch_trace(path, get_model("dict"), WatchConfig())
+    baseline_seconds = time.perf_counter() - t0
+    assert baseline.verdict == "PASS", baseline.verdict
+    assert baseline.stats["cells"] == keys, baseline.stats
+
+    rows = []
+    for shards in shard_counts:
+        t0 = time.perf_counter()
+        result = watch_sharded(
+            path, "dict", WatchConfig(shards=shards), workers=shards
+        )
+        seconds = time.perf_counter() - t0
+        assert result.verdict == baseline.verdict, result.verdict
+        assert result.stats["cells"] == keys, result.stats
+        rows.append(
+            {
+                "shards": shards,
+                "seconds": seconds,
+                "events_per_sec": result.stats["events"] / seconds
+                if seconds
+                else 0.0,
+                "max_frontier": result.stats["max_frontier"],
+            }
+        )
+    return {
+        "keys": keys,
+        "events": baseline.stats["events"],
+        "baseline": {
+            "seconds": baseline_seconds,
+            "events_per_sec": baseline.events_per_sec,
+        },
+        "sharded": rows,
+    }
+
+
+def print_report(payload: dict) -> None:
+    tp = payload["throughput"]
+    print(
+        f"throughput: {tp['ops']} ops in {tp['seconds']:.3f}s "
+        f"= {tp['ops_per_sec']:,.0f} ops/s (floor {THROUGHPUT_FLOOR_PER_SEC:,})"
+    )
+    mem = payload["bounded_memory"]
+    print(
+        f"bounded memory: {mem['ops']} ops, max frontier {mem['max_frontier']} "
+        f"(= window), max live configs {mem['max_live_configs']}, "
+        f"rss high-water {mem['memory_kb_high_water']} KiB"
+    )
+    scaling = payload["shard_scaling"]
+    print(
+        f"shard scaling over {scaling['events']} events, "
+        f"{scaling['keys']} cells:"
+    )
+    print(
+        f"  {'in-process':>10s} {scaling['baseline']['seconds']:8.2f}s "
+        f"{scaling['baseline']['events_per_sec']:10,.0f} ev/s"
+    )
+    for row in scaling["sharded"]:
+        print(
+            f"  {str(row['shards']) + ' shards':>10s} {row['seconds']:8.2f}s "
+            f"{row['events_per_sec']:10,.0f} ev/s"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small traces, CI smoke")
+    parser.add_argument("--shards", type=int, nargs="*", default=None,
+                        help="shard counts to measure")
+    parser.add_argument("--out", default="BENCH_stream.json",
+                        help="perf snapshot path (default BENCH_stream.json)")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    sizes = MODES[mode]
+    shard_counts = args.shards if args.shards else sizes["shard_counts"]
+
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as tmp:
+        # Memory first: getrusage's maxrss is a process-wide high-water
+        # mark, so the bounded-memory evidence must be collected before
+        # any other section can inflate it.
+        memory = bench_bounded_memory(tmp, sizes["memory_ops"], sizes["window"])
+        payload = {
+            "mode": mode,
+            "throughput": bench_throughput(
+                tmp, sizes["throughput_ops"], sizes["window"]
+            ),
+            "bounded_memory": memory,
+            "shard_scaling": bench_shard_scaling(
+                tmp, sizes["keys"], sizes["rounds"], shard_counts
+            ),
+        }
+
+    print_report(payload)
+
+    import benchlib
+
+    benchlib.write_snapshot(args.out, "stream", payload)
+    print(f"\nsmoke PASS: snapshot written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

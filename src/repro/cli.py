@@ -23,6 +23,9 @@ Line-Up as a tool, mirroring how the paper's authors drove it:
 * ``live`` — record N concurrent sessions against a live service over
   wall-clock time (optionally under chaos fault injection) and check
   the recorded v2 trace; see :mod:`repro.live`.
+* ``watch`` — follow a JSONL trace *while it is being written* and keep
+  an online linearizability verdict at traffic rate; see
+  :mod:`repro.stream` and docs/STREAMING.md.
 
 Long runs are made interruptible: ``--deadline SECONDS`` bounds the
 exploration (stopping with an explicit EXHAUSTED verdict and partial
@@ -37,7 +40,8 @@ campaign — the test is retried and eventually quarantined with a
 
 Exit status: 0 = PASS, 1 = violation found, 2 = exploration budget
 exhausted, 64 = usage error, 70 = every test crashed (isolated
-campaigns) or the live service died unexpectedly, 130 = interrupted
+campaigns) or the live service died unexpectedly, 75 = the online watch
+fell behind the writer past the lag budget, 130 = interrupted
 (SIGINT/SIGTERM).  :data:`EXIT_CODE_MEANINGS` is the single source of
 truth for this contract.
 """
@@ -95,6 +99,10 @@ EXIT_USAGE = 64
 #: means an environment problem rather than a concurrency bug.  Reused
 #: by ``lineup live`` for an *unexpected* service death (CRASHED).
 EXIT_ALLCRASHED = 70
+#: ``lineup watch``: the online checker could not drain the trace within
+#: the lag budget — the verdict is honest ("I fell behind"), not a PASS
+#: over a stream it silently skipped.
+EXIT_LAGGED = 75
 EXIT_INTERRUPTED = 130
 
 #: Single source of truth for the exit-code contract.  The ``--help``
@@ -109,6 +117,7 @@ EXIT_CODE_MEANINGS = {
     EXIT_USAGE: "usage error",
     EXIT_ALLCRASHED: "every test crashed (isolated campaigns) "
                      "or the live service died unexpectedly",
+    EXIT_LAGGED: "online watch fell behind the writer past the lag budget",
     EXIT_INTERRUPTED: "interrupted (SIGINT/SIGTERM)",
 }
 
@@ -1409,6 +1418,8 @@ def cmd_live(args: argparse.Namespace) -> int:
         max_configurations=args.max_configurations,
         monitor_engine=args.monitor_engine,
         subject=subject,
+        flush_every_n=args.flush_every_n,
+        flush_interval=args.flush_interval,
     )
 
     stop = _SignalStop().install()
@@ -1450,6 +1461,112 @@ def cmd_live(args: argparse.Namespace) -> int:
         return EXIT_INTERRUPTED
     if result.verdict == "CRASHED":
         return EXIT_ALLCRASHED
+    if result.verdict == "EXHAUSTED":
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
+
+
+def _peek_header_model(path: str) -> "str | None":
+    """The ``model`` named by a trace's header line, when readable."""
+    import json as _json
+
+    from repro.monitor.trace import TRACE_FORMAT
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            obj = _json.loads(handle.readline())
+    except (OSError, ValueError):
+        return None
+    if isinstance(obj, dict) and obj.get("format") == TRACE_FORMAT:
+        model = obj.get("model")
+        return model if isinstance(model, str) else None
+    return None
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Online check of a (possibly still growing) JSONL trace."""
+    import json as _json
+
+    from repro.monitor import ModelError, TraceError, get_model
+    from repro.stream import WatchConfig, watch_sharded, watch_trace
+
+    model_name = args.model or _peek_header_model(args.trace)
+    if model_name is None:
+        raise CliError(
+            "--model NAME is required (the trace header names no model, "
+            "or the trace does not exist yet)"
+        )
+    try:
+        model = get_model(model_name)
+    except ModelError as exc:
+        raise CliError(str(exc)) from exc
+    if args.shards < 1:
+        raise CliError("--shards must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    if args.shards > 1 and not model.partitionable:
+        raise CliError(
+            f"model {model.name!r} is not partitionable; --shards needs a "
+            "per-key model (queue-per-key models: set, dict)"
+        )
+    config = WatchConfig(
+        follow=args.follow,
+        shards=args.shards,
+        lag_budget=args.lag_budget,
+        idle_timeout=args.idle_timeout,
+        poll_interval=args.poll_interval,
+        max_configurations=args.max_configurations,
+        monitor_engine=args.monitor_engine,
+        stats_out=args.stats_out,
+        stats_interval=args.stats_interval,
+    )
+    try:
+        if args.shards > 1:
+            result = watch_sharded(
+                args.trace, model_name, config, workers=args.workers
+            )
+        else:
+            result = watch_trace(args.trace, model, config)
+    except TraceError as exc:
+        raise CliError(str(exc)) from exc
+    except KeyboardInterrupt:
+        print("interrupted")
+        return EXIT_INTERRUPTED
+
+    if args.json:
+        print(_json.dumps({"model": model_name, **result.to_dict()}))
+    else:
+        stats = result.stats
+        print(
+            f"watched {args.trace} against model {model_name!r}: "
+            f"{result.verdict}"
+        )
+        print(
+            f"  {stats.get('events', 0)} events "
+            f"({result.events_per_sec:.0f}/s), "
+            f"{stats.get('retired', 0)} retired, "
+            f"max frontier {stats.get('max_frontier', 0)}, "
+            f"max retirement lag {stats.get('max_retirement_lag', 0)}, "
+            f"{stats.get('maxrss_kb', 0)} KiB high-water"
+        )
+        if result.restarts:
+            print(f"  restarted {result.restarts}x (rotation/truncation/"
+                  "unsound partition)")
+        if not result.finalized:
+            torn = " (final line torn — writer died mid-record?)" if result.torn else ""
+            print(f"  note: trace is not finalized{torn}")
+        if result.outcome is not None:
+            print(f"  recording outcome: {result.outcome}")
+        if result.counterexample:
+            print()
+            print(result.counterexample)
+
+    if result.verdict == "FAIL":
+        return EXIT_FAIL
+    if result.verdict == "CRASHED":
+        return EXIT_ALLCRASHED
+    if result.verdict == "LAGGED":
+        return EXIT_LAGGED
     if result.verdict == "EXHAUSTED":
         return EXIT_EXHAUSTED
     return EXIT_PASS
@@ -1703,10 +1820,92 @@ def build_parser() -> argparse.ArgumentParser:
              "default: 500000)",
     )
     p_live.add_argument(
+        "--flush-every-n", type=int, default=1, metavar="N",
+        help="flush the trace every N events instead of every event "
+             "(a follower may lag up to N events; default: 1)",
+    )
+    p_live.add_argument(
+        "--flush-interval", type=float, default=0.0, metavar="SECONDS",
+        help="with --flush-every-n > 1: also flush any event buffered "
+             "longer than this at the next append (default: off)",
+    )
+    p_live.add_argument(
         "--json", action="store_true",
         help="print a one-line JSON result instead of the report",
     )
     p_live.set_defaults(func=cmd_live)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow a JSONL trace while it is written and keep an "
+             "online linearizability verdict (the streaming monitor)",
+        epilog=_EXIT_CODE_HELP,
+    )
+    p_watch.add_argument(
+        "trace", metavar="TRACE",
+        help="JSONL trace file (a 'lineup live' recording, possibly "
+             "still being written, or a --dump-traces file)",
+    )
+    p_watch.add_argument(
+        "--model", metavar="NAME",
+        help="sequential model to check against (register, counter, "
+             "queue, stack, set, dict); default: the trace header's model",
+    )
+    p_watch.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep polling for growth until the end marker (or "
+             "--idle-timeout); without it, read once to the current end",
+    )
+    p_watch.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="fan partition cells across N sandboxed worker processes "
+             "(needs a partitionable model; default: 1 = in-process)",
+    )
+    p_watch.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --shards (default: min(shards, cores))",
+    )
+    p_watch.add_argument(
+        "--lag-budget", type=float, metavar="SECONDS",
+        help="exit LAGGED when unconsumed trace bytes persist this long "
+             "(default: no budget)",
+    )
+    p_watch.add_argument(
+        "--idle-timeout", type=float, metavar="SECONDS",
+        help="with --follow: stop after this long without new bytes "
+             "(default: wait forever)",
+    )
+    p_watch.add_argument(
+        "--poll-interval", type=float, default=0.05, metavar="SECONDS",
+        help="delay between polls when caught up (default: 0.05)",
+    )
+    p_watch.add_argument(
+        "--stats-out", metavar="FILE",
+        help="append periodic JSONL observability samples (ingest rate, "
+             "frontier, retirement lag, memory high-water) to FILE",
+    )
+    p_watch.add_argument(
+        "--stats-interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between stats samples (default: 1.0)",
+    )
+    p_watch.add_argument(
+        "--monitor-engine", "--engine",
+        dest="monitor_engine",
+        choices=("auto", "wgl", "compositional", "specialized"),
+        default="auto",
+        help="offline engine for v1 (history-per-line) traces "
+             "(default: auto)",
+    )
+    p_watch.add_argument(
+        "--max-configurations", type=int, default=1_000_000, metavar="N",
+        help="per-cell cumulative configuration cap (EXHAUSTED past it; "
+             "default: 1000000)",
+    )
+    p_watch.add_argument(
+        "--json", action="store_true",
+        help="print a one-line JSON result instead of the report",
+    )
+    p_watch.set_defaults(func=cmd_watch)
 
     p_obs = sub.add_parser(
         "observations", help="phase 1 only: write the observation file"

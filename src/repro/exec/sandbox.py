@@ -121,7 +121,8 @@ def _run_task(spec: dict) -> dict:
 
     ``"check"`` (the default) runs a full two-phase check; ``"probe"``
     and ``"shard"`` are the swarm task kinds (partition probing and
-    lease execution — see :mod:`repro.swarm.worker`).
+    lease execution — see :mod:`repro.swarm.worker`); ``"stream"`` runs
+    one shard of a streaming watch (see :mod:`repro.stream.worker`).
     """
     kind = spec.get("kind") or "check"
     if kind == "probe":
@@ -132,6 +133,10 @@ def _run_task(spec: dict) -> dict:
         from repro.swarm.worker import run_shard_task
 
         return run_shard_task(spec)
+    if kind == "stream":
+        from repro.stream.worker import run_stream_task
+
+        return run_stream_task(spec)
 
     from repro.core.campaign import TestSummary
     from repro.core.checker import check

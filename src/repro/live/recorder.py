@@ -47,10 +47,17 @@ class LiveRecorder:
         *,
         subject: str | None = None,
         model: str | None = None,
+        flush_every_n: int = 1,
+        flush_interval: float = 0.0,
     ) -> None:
         self.path = path
         self._writer = LiveTraceWriter(
-            path, sessions, subject=subject, model=model
+            path,
+            sessions,
+            subject=subject,
+            model=model,
+            flush_every_n=flush_every_n,
+            flush_interval=flush_interval,
         )
         self._t0 = time.monotonic()
         self._lock = threading.Lock()

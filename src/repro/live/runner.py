@@ -70,6 +70,11 @@ class LiveConfig:
     max_configurations: int | None = 500_000
     monitor_engine: str = "auto"
     subject: str | None = None
+    #: Trace flush policy (see docs/LIVE.md): every n-th event — plus any
+    #: event older than ``flush_interval`` seconds at the next append — is
+    #: flushed to the OS and becomes visible to a same-host follower.
+    flush_every_n: int = 1
+    flush_interval: float = 0.0
 
 
 @dataclass
@@ -127,6 +132,8 @@ def run_live(
         config.sessions,
         subject=config.subject,
         model=config.model,
+        flush_every_n=config.flush_every_n,
+        flush_interval=config.flush_interval,
     )
     drain = threading.Event()
     session_config = SessionConfig(ops=config.ops, op_timeout=config.op_timeout)

@@ -33,6 +33,11 @@ from repro.monitor.models import (
     model_names,
 )
 from repro.monitor.specialized import specialized_check
+from repro.monitor.incremental import (
+    IncrementalChecker,
+    OnlineCounterexample,
+    OnlineResult,
+)
 from repro.monitor.trace import (
     TRACE_FORMAT,
     TRACE_VERSION,
@@ -40,9 +45,13 @@ from repro.monitor.trace import (
     LiveTraceMeta,
     LiveTraceWriter,
     TraceError,
+    TraceScan,
+    TraceSegment,
     TraceWriter,
     default_trace_path,
+    iter_trace,
     load_trace,
+    scan_trace,
 )
 from repro.monitor.wgl import (
     MonitorCounterexample,
@@ -55,6 +64,7 @@ from repro.monitor.wgl import (
 
 __all__ = [
     "ENGINES",
+    "IncrementalChecker",
     "MODELS",
     "ModelError",
     "MonitorVerdict",
@@ -62,6 +72,8 @@ __all__ = [
     "MonitorCounterexample",
     "MonitorLimitError",
     "MonitorResult",
+    "OnlineCounterexample",
+    "OnlineResult",
     "SequentialModel",
     "StuckMonitorResult",
     "TRACE_FORMAT",
@@ -70,14 +82,18 @@ __all__ = [
     "LiveTraceMeta",
     "LiveTraceWriter",
     "TraceError",
+    "TraceScan",
+    "TraceSegment",
     "TraceWriter",
     "check_history_against_model",
     "check_stuck_history_model",
     "compositional_check",
     "default_trace_path",
     "get_model",
+    "iter_trace",
     "load_trace",
     "model_names",
+    "scan_trace",
     "specialized_check",
     "wgl_check",
 ]

@@ -1,0 +1,316 @@
+"""Incremental (online) linearizability checking with prefix retirement.
+
+The offline Wing–Gong–Lowe search (:mod:`repro.monitor.wgl`) needs the
+whole history up front and explores configurations ``(linearized set,
+state)`` over *all* of it, so both its memory and its per-verdict latency
+grow with trace length.  This module is the streaming refactor of the
+same search, after the just-in-time linearization idea used by online
+monitors (PAPERS.md: "Efficient Linearizability Monitoring"): consume
+events one at a time and keep only the *frontier* — configurations over
+the operations that are still concurrent — retiring every linearized
+prefix into the model state.
+
+The invariant.  At any point of the stream, :class:`IncrementalChecker`
+holds the set of configurations
+
+    ``(model state, {(pending op, response the model gave it)})``
+
+reachable by some linearization of the consumed prefix in which **every
+returned operation is linearized with its observed response**.  Calls
+just open an operation.  Returns do all the work: when operation ``o``
+returns with response ``r``, every configuration must linearize ``o`` —
+possibly after first linearizing other still-open operations in some
+order (the closure below enumerates those orders) — and the response the
+model computes for ``o`` must equal ``r``.  Configurations that cannot
+are dropped; an empty set is a proof that the consumed prefix (hence any
+extension of it) is not linearizable, which is what makes an online FAIL
+sound the moment it is reported.
+
+**Retirement** is what bounds memory.  After ``o``'s return is
+processed, ``o`` is linearized in *every* surviving configuration, so
+its identity carries no more information — only its effect on the model
+state does.  It is therefore deleted from every configuration (its
+effect stays folded into the state) and counted into the retired prefix.
+Configurations thus mention only operations that are open (called,
+unreturned) — the concurrency window — so memory is bounded by the
+window's width, never by trace length.  Laziness keeps this complete:
+an open operation the witness linearizes early can always be linearized
+later instead, at the next return's closure, reaching the same state in
+the same order.
+
+Operations that will never return (the live recorder's *indeterminate*
+ops) stay open forever and simply remain linearizable at any future
+point — or never — exactly the open-history semantics of
+:func:`repro.monitor.wgl.wgl_check`; each costs at most one extra
+bifurcation per configuration, so memory stays bounded by (window +
+indeterminate count).
+
+``max_configurations`` caps the *cumulative* closure work, mirroring the
+offline cap: exceeding it raises
+:class:`~repro.monitor.wgl.MonitorLimitError` and the caller reports
+EXHAUSTED, never a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.core.events import Invocation, Response
+from repro.monitor.models import SequentialModel
+from repro.monitor.wgl import MonitorLimitError
+
+__all__ = [
+    "IncrementalChecker",
+    "OnlineCounterexample",
+    "OnlineResult",
+    "StreamStateError",
+]
+
+
+class StreamStateError(Exception):
+    """The event stream violated well-formedness (duplicate call, ...)."""
+
+
+@dataclass(frozen=True)
+class OnlineCounterexample:
+    """Why the stream stopped being linearizable, at the failing return.
+
+    ``thread``/``op_index``/``invocation``/``observed`` identify the
+    returning operation whose response no configuration could justify.
+    ``candidates`` samples what the surviving configurations *could*
+    offer instead: pairs of (model state, response the model computes
+    for the invocation there — None when it blocks, or the response the
+    configuration had already committed to when it linearized the
+    operation earlier).  ``retired`` is the length of the linearized
+    prefix already proven and retired before the failure.
+    """
+
+    thread: int
+    op_index: int
+    invocation: Invocation
+    observed: Response
+    candidates: tuple[tuple[Any, Response | None], ...]
+    retired: int
+    events_ingested: int
+
+    def describe(self) -> str:
+        lines = [
+            f"operation [{self.invocation} @T{self.thread}] returned "
+            f"{self.observed}, but no linearization allows it "
+            f"(after {self.retired} retired operations, "
+            f"{self.events_ingested} events)",
+        ]
+        for state, response in self.candidates[:4]:
+            want = "block" if response is None else str(response)
+            lines.append(f"  in state {state!r} the model would {want}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Verdict of one (possibly still growing) stream against one model."""
+
+    ok: bool
+    engine: str  #: always "incremental"
+    configurations: int  #: cumulative closure configurations explored
+    retired: int  #: operations linearized everywhere and retired
+    frontier: int  #: operations still open when the verdict was taken
+    counterexample: OnlineCounterexample | None = None
+
+
+@dataclass
+class _OpenOp:
+    """One called-but-unreturned operation of the stream."""
+
+    invocation: Invocation
+    call_event: int  #: ingest index of the call event (lag accounting)
+    indeterminate: bool = False
+
+
+class IncrementalChecker:
+    """Online WGL over one cell of a trace: feed events, read verdicts.
+
+    The feeding protocol mirrors the v2 live-trace event kinds:
+    :meth:`on_call`, :meth:`on_return`, :meth:`on_indeterminate`.
+    ``on_return`` returns ``False`` the moment linearizability is lost —
+    the verdict is final from then on (``failed`` stays set and further
+    events are rejected).  :meth:`result` snapshots the current verdict
+    at any point; a stream with a non-empty configuration set is
+    linearizable so far.
+    """
+
+    engine = "incremental"
+
+    def __init__(
+        self,
+        model: SequentialModel,
+        *,
+        max_configurations: int | None = None,
+    ) -> None:
+        self.model = model
+        self.max_configurations = max_configurations
+        #: configurations: (state, frozenset of (key, Response)) for
+        #: linearized-but-unreturned (open or indeterminate) operations.
+        self._configs: set[tuple[Hashable, frozenset]] = {
+            (model.initial_state(), frozenset())
+        }
+        self._open: dict[tuple[int, int], _OpenOp] = {}
+        self.configurations = 0  #: cumulative closure work (EXHAUSTED cap)
+        self.retired = 0
+        self.events_ingested = 0
+        self.failed: OnlineCounterexample | None = None
+        #: high-water marks for the observability layer.
+        self.max_frontier = 0
+        self.max_live_configs = 1
+        self.max_retirement_lag = 0
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def frontier_size(self) -> int:
+        """Open (unretired) operations — the concurrency window."""
+        return len(self._open)
+
+    @property
+    def live_configs(self) -> int:
+        """Configurations currently held (the memory driver)."""
+        return len(self._configs)
+
+    def oldest_open_age(self) -> int:
+        """Events since the oldest unretired operation was called."""
+        if not self._open:
+            return 0
+        oldest = min(op.call_event for op in self._open.values())
+        return self.events_ingested - oldest
+
+    # -- the feeding protocol ---------------------------------------------
+
+    def _reject_after_failure(self) -> None:
+        if self.failed is not None:
+            raise StreamStateError(
+                "stream already failed; no further events are accepted"
+            )
+
+    def on_call(
+        self, thread: int, op_index: int, invocation: Invocation
+    ) -> None:
+        self._reject_after_failure()
+        key = (thread, op_index)
+        if key in self._open:
+            raise StreamStateError(f"duplicate call for operation {key}")
+        self.events_ingested += 1
+        self._open[key] = _OpenOp(invocation, self.events_ingested)
+        self.max_frontier = max(self.max_frontier, len(self._open))
+
+    def on_indeterminate(self, thread: int, op_index: int) -> None:
+        """The operation will never return; it stays open forever."""
+        self._reject_after_failure()
+        key = (thread, op_index)
+        if key not in self._open:
+            raise StreamStateError(
+                f"indeterminate marker for operation {key} with no open call"
+            )
+        self.events_ingested += 1
+        self._open[key].indeterminate = True
+
+    def on_return(
+        self, thread: int, op_index: int, observed: Response
+    ) -> bool:
+        """Force-linearize the returning op; False = linearizability lost."""
+        self._reject_after_failure()
+        key = (thread, op_index)
+        open_op = self._open.get(key)
+        if open_op is None:
+            raise StreamStateError(
+                f"return for operation {key} with no open call"
+            )
+        self.events_ingested += 1
+
+        accepted: set[tuple[Hashable, frozenset]] = set()
+        explored: set[tuple[Hashable, frozenset]] = set()
+        candidates: list[tuple[Any, Response | None]] = []
+        stack = list(self._configs)
+        while stack:
+            config = stack.pop()
+            if config in explored:
+                continue
+            explored.add(config)
+            self.configurations += 1
+            if (
+                self.max_configurations is not None
+                and self.configurations > self.max_configurations
+            ):
+                raise MonitorLimitError(
+                    f"incremental check exceeded {self.max_configurations} "
+                    "configurations"
+                )
+            state, linmap = config
+            committed = None
+            for k, resp in linmap:
+                if k == key:
+                    committed = resp
+                    break
+            if committed is not None:
+                # The op was linearized during an earlier closure with a
+                # model-computed response; now the observation arrived.
+                if committed == observed:
+                    accepted.add((state, linmap - {(key, committed)}))
+                elif len(candidates) < 8:
+                    candidates.append((state, committed))
+                continue  # either way, nothing more to expand here
+            linearized_keys = {k for k, _ in linmap}
+            # Try the returning op directly from this configuration.
+            new_state, response = self.model.apply(state, open_op.invocation)
+            if response == observed:
+                accepted.add((new_state, linmap))
+            elif len(candidates) < 8:
+                candidates.append((state, response))
+            # Or first linearize some other still-open operation.
+            for other_key, other in self._open.items():
+                if other_key == key or other_key in linearized_keys:
+                    continue
+                other_state, other_resp = self.model.apply(
+                    state, other.invocation
+                )
+                if other_resp is None:
+                    continue  # the model blocks here
+                stack.append(
+                    (other_state, linmap | {(other_key, other_resp)})
+                )
+
+        lag = self.events_ingested - open_op.call_event
+        self.max_retirement_lag = max(self.max_retirement_lag, lag)
+        del self._open[key]
+        self._configs = accepted
+        self.max_live_configs = max(self.max_live_configs, len(accepted))
+        if not accepted:
+            self.failed = OnlineCounterexample(
+                thread=thread,
+                op_index=op_index,
+                invocation=open_op.invocation,
+                observed=observed,
+                candidates=tuple(candidates),
+                retired=self.retired,
+                events_ingested=self.events_ingested,
+            )
+            return False
+        self.retired += 1
+        return True
+
+    # -- verdicts ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.failed is None
+
+    def result(self) -> OnlineResult:
+        """Snapshot the verdict for the stream consumed so far."""
+        return OnlineResult(
+            ok=self.failed is None,
+            engine=self.engine,
+            configurations=self.configurations,
+            retired=self.retired,
+            frontier=len(self._open),
+            counterexample=self.failed,
+        )

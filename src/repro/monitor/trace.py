@@ -70,6 +70,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import IO, Any, Iterable
 
@@ -84,11 +85,15 @@ __all__ = [
     "LiveTraceWriter",
     "TraceError",
     "TraceFile",
+    "TraceScan",
+    "TraceSegment",
     "TraceWriter",
     "default_trace_path",
     "history_to_record",
+    "iter_trace",
     "load_trace",
     "record_to_history",
+    "scan_trace",
 ]
 
 TRACE_FORMAT = "lineup-trace"
@@ -273,13 +278,23 @@ class TraceWriter:
 
 
 class LiveTraceWriter:
-    """Append version-2 live events to a JSONL trace, one flushed line each.
+    """Append version-2 live events to a JSONL trace with explicit flushing.
 
     Thread-safe: concurrent sessions append through one lock, so file
-    order is a real interleaving of the append calls.  Each line is
-    flushed to the OS immediately (crash loses at most the line being
-    written); :meth:`finalize` additionally fsyncs so the end marker
-    survives a machine crash.
+    order is a real interleaving of the append calls.
+
+    **Flush policy / visibility guarantee** (documented in docs/LIVE.md):
+    every ``flush_every_n``-th appended line — and, when ``flush_interval``
+    is positive, any pending line older than that many seconds at the next
+    append — is flushed to the OS, at which point a same-host follower
+    (``lineup watch --follow``, or anything built on :func:`iter_trace`)
+    observes it.  The defaults (``flush_every_n=1``) keep the original
+    contract: each line is visible before the writer takes another step,
+    and a crash loses at most the line being written.  Raising
+    ``flush_every_n`` trades promptness (a follower may lag up to n
+    events behind, and a crash may lose up to n buffered lines) for fewer
+    syscalls on hot recording paths.  :meth:`finalize` always flushes and
+    additionally fsyncs so the end marker survives a machine crash.
     """
 
     def __init__(
@@ -289,9 +304,19 @@ class LiveTraceWriter:
         *,
         subject: str | None = None,
         model: str | None = None,
+        flush_every_n: int = 1,
+        flush_interval: float = 0.0,
     ) -> None:
+        if flush_every_n < 1:
+            raise ValueError("flush_every_n must be >= 1")
+        if flush_interval < 0:
+            raise ValueError("flush_interval must be >= 0")
         self.path = path
         self.events = 0
+        self.flush_every_n = flush_every_n
+        self.flush_interval = flush_interval
+        self._pending = 0  #: lines written but not yet flushed
+        self._last_flush = time.monotonic()
         self._lock = threading.Lock()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
@@ -306,18 +331,38 @@ class LiveTraceWriter:
             header["subject"] = subject
         if model is not None:
             header["model"] = model
-        self._emit(header)
+        self._emit(header, force_flush=True)
         self.events = 0  # the header is not an event
 
-    def _emit(self, obj: dict) -> None:
+    def _emit(self, obj: dict, force_flush: bool = False) -> None:
         with self._lock:
             if self._handle is None:
                 raise TraceError(
                     f"live trace {self.path!r} is already finalized"
                 )
             self._handle.write(json.dumps(obj, separators=(",", ":")) + "\n")
-            self._handle.flush()
+            self._pending += 1
             self.events += 1
+            now = time.monotonic()
+            if (
+                force_flush
+                or self._pending >= self.flush_every_n
+                or (
+                    self.flush_interval > 0
+                    and now - self._last_flush >= self.flush_interval
+                )
+            ):
+                self._handle.flush()
+                self._pending = 0
+                self._last_flush = now
+
+    def flush(self) -> None:
+        """Flush any buffered lines to the OS immediately."""
+        with self._lock:
+            if self._handle is not None and self._pending:
+                self._handle.flush()
+                self._pending = 0
+                self._last_flush = time.monotonic()
 
     def record_call(
         self, thread: int, op_index: int, invocation: Invocation, ts: float
@@ -589,6 +634,103 @@ def _load_live_trace(path: str, header: dict, lines: list[str]) -> TraceFile:
     trace.histories.append(History(events, n_threads=n_threads, stuck=False))
     trace.verdicts.append(None)
     return trace
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One complete JSONL line of a trace, with its byte extent.
+
+    ``start``/``end`` are byte offsets into the file: the line occupies
+    ``[start, end)`` including its terminating newline, so ``end`` is the
+    exact offset to resume from after consuming this segment.
+    """
+
+    obj: dict
+    start: int
+    end: int
+
+
+@dataclass
+class TraceScan:
+    """Result of one incremental pass over a trace file.
+
+    ``next_offset`` is where the next pass should resume: just past the
+    last complete line.  When ``torn`` is True the file currently ends in
+    an incomplete (not newline-terminated) line starting exactly at
+    ``next_offset`` — the writer is mid-append or died there; a follower
+    re-reads from that offset once the file grows.  ``size`` is the file
+    size observed by this pass (``size - next_offset`` is the torn tail's
+    length, 0 when not torn).
+    """
+
+    segments: list[TraceSegment] = field(default_factory=list)
+    next_offset: int = 0
+    torn: bool = False
+    size: int = 0
+
+
+def scan_trace(path: str, start_offset: int = 0) -> TraceScan:
+    """Read every complete JSONL line of *path* from *start_offset* on.
+
+    The incremental complement of :func:`load_trace`: instead of slurping
+    the whole file it consumes ``[start_offset, EOF)``, parses each
+    newline-terminated line, and reports exactly where a follower should
+    resume (:class:`TraceScan.next_offset`) — including the byte offset
+    of a torn final line, so tailing readers lose nothing to a writer
+    caught mid-append.
+
+    Only the *final* line may be incomplete; a newline-terminated line
+    that is not valid JSON is corruption anywhere in the file and raises
+    :class:`TraceError` (same contract as :func:`load_trace`).  Blank
+    lines are skipped but still advance the offset.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(start_offset)
+            data = handle.read()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path!r}: {exc}") from exc
+    scan = TraceScan(next_offset=start_offset, size=start_offset + len(data))
+    cursor = 0
+    while True:
+        newline = data.find(b"\n", cursor)
+        if newline < 0:
+            scan.torn = cursor < len(data)
+            break
+        line = data[cursor:newline]
+        start = start_offset + cursor
+        end = start_offset + newline + 1
+        cursor = newline + 1
+        scan.next_offset = end
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(
+                f"trace file {path!r} is corrupt at byte offset {start}: {exc}"
+            ) from None
+        if not isinstance(obj, dict):
+            raise TraceError(
+                f"trace file {path!r} at byte offset {start} is not a "
+                "JSON object"
+            )
+        scan.segments.append(TraceSegment(obj=obj, start=start, end=end))
+    return scan
+
+
+def iter_trace(path: str, start_offset: int = 0):
+    """Yield :class:`TraceSegment` for each complete line, incrementally.
+
+    A generator over one :func:`scan_trace` pass: iteration stops at the
+    first torn (incomplete) line instead of raising, and each yielded
+    segment carries its ``end`` offset — resume a later pass from the
+    last segment's ``end`` (or from ``start_offset`` when nothing was
+    yielded) to pick up exactly where this one left off.  For rotation/
+    truncation detection and stateful following, use
+    :class:`repro.stream.tail.TraceTailer`, which is built on this.
+    """
+    yield from scan_trace(path, start_offset).segments
 
 
 def default_trace_path(directory: str, subject: str, test: dict) -> str:

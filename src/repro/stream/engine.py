@@ -1,0 +1,368 @@
+"""The streaming check engine: trace lines in, online verdict out.
+
+:class:`StreamChecker` consumes the parsed JSONL lines of one trace (in
+file order, as :mod:`repro.stream.tail` delivers them) and maintains a
+monitoring verdict *while the trace grows*:
+
+* **v2 live traces** (event per line) are fed event-by-event into
+  :class:`~repro.monitor.incremental.IncrementalChecker` instances — one
+  per partition cell when per-key sharding is on, one for the whole
+  stream otherwise.  A FAIL is known at the exact return event that
+  loses linearizability; memory is bounded by the concurrency window
+  (see the retirement argument in :mod:`repro.monitor.incremental`).
+* **v1 history traces** (complete history per line) are checked one
+  record at a time with the offline
+  :func:`~repro.monitor.dispatch.monitor_history` — each line is already
+  a complete history, so "streaming" means verdict-per-line, including
+  the blocking justification for stuck histories.
+
+Sharding model (P-compositionality, reusing
+:meth:`~repro.monitor.models.SequentialModel.partition_key`): when
+``partition`` is on, every operation is routed to its cell and cells are
+checked independently — sound because for partitionable models a history
+is linearizable iff each per-key projection is.  With ``shards > 1``
+each engine instance additionally *owns* only the cells whose stable
+hash lands on ``shard_index`` and skips the rest, so independent keys
+check on independent worker processes.  An operation whose
+``partition_key`` is ``None`` (a global ``Count``/``Clear``/...) makes
+partitioning unsound mid-stream; :class:`PartitionUnsound` is raised and
+the caller restarts from offset 0 with partitioning off — possible
+precisely because the trace is a file, not an ephemeral socket.
+
+Stream well-formedness (duplicate calls, returns without calls, events
+after the end marker — the shapes two colliding writers produce) raises
+:class:`~repro.monitor.trace.TraceError`, mirroring the strict offline
+loader: a malformed stream never blends into a verdict.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.monitor.dispatch import monitor_history
+from repro.monitor.incremental import IncrementalChecker, OnlineCounterexample
+from repro.monitor.models import SequentialModel
+from repro.monitor.trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TRACE_VERSION_LIVE,
+    TraceError,
+    _event_from_obj,
+    record_to_history,
+)
+from repro.monitor.wgl import MonitorLimitError
+
+__all__ = ["PartitionUnsound", "StreamChecker", "stable_shard"]
+
+#: Sentinel cell for operations owned by another shard.
+_FOREIGN = object()
+
+
+class PartitionUnsound(Exception):
+    """A global operation arrived while per-key partitioning was on."""
+
+    def __init__(self, invocation) -> None:
+        super().__init__(
+            f"operation {invocation} has no partition key; per-key "
+            "sharding is unsound for this stream — restart unpartitioned"
+        )
+        self.invocation = invocation
+
+
+def stable_shard(cell: Hashable, shards: int) -> int:
+    """Deterministic shard index for *cell*, stable across processes.
+
+    ``hash()`` is salted per process for strings, so shard routing uses
+    a CRC over the cell's ``repr`` — cells are invocation arguments that
+    already round-trip through ``repr`` in the trace format.
+    """
+    return zlib.crc32(repr(cell).encode("utf-8")) % shards
+
+
+@dataclass
+class StreamCounters:
+    """Ingest-side counters of one :class:`StreamChecker`."""
+
+    events: int = 0  #: trace lines consumed (header and end included)
+    calls: int = 0
+    returns: int = 0
+    indeterminate: int = 0
+    skipped: int = 0  #: events owned by other shards
+    histories: int = 0  #: v1 records checked
+    exhausted_cells: int = 0
+    cells: int = 0  #: partition cells seen by this shard
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class StreamChecker:
+    """Feed one trace's lines in order; read the live verdict anytime."""
+
+    def __init__(
+        self,
+        model: SequentialModel,
+        *,
+        partition: bool = False,
+        shards: int = 1,
+        shard_index: int = 0,
+        max_configurations: int | None = None,
+        monitor_engine: str = "auto",
+    ) -> None:
+        if partition and not model.partitionable:
+            raise ValueError(
+                f"model {model.name!r} is not partitionable; "
+                "run with partition=False"
+            )
+        if not 0 <= shard_index < shards:
+            raise ValueError("shard_index must be within [0, shards)")
+        if shards > 1 and not partition:
+            raise ValueError("sharding requires partitioning")
+        self.model = model
+        self.partition = partition
+        self.shards = shards
+        self.shard_index = shard_index
+        self.max_configurations = max_configurations
+        self.monitor_engine = monitor_engine
+        self.counters = StreamCounters()
+        self.version: int | None = None  #: None until the header arrived
+        self.n_threads = 0  #: v1 header field
+        self.outcome: str | None = None  #: v2 end-marker outcome
+        self.failed: OnlineCounterexample | None = None
+        self.failed_history: object | None = None  #: v1 FAIL: the History
+        self.exhausted = False
+        self._cells: dict[Hashable, IncrementalChecker] = {}
+        self._dead_cells: set[Hashable] = set()  #: cells over the config cap
+        self._open_cell: dict[tuple[int, int], Hashable] = {}
+        self._thread_busy: dict[int, tuple[int, int]] = {}
+
+    # -- verdicts ---------------------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        return self.outcome is not None
+
+    @property
+    def verdict(self) -> str:
+        """PASS / FAIL / EXHAUSTED for the stream consumed so far."""
+        if self.failed is not None or self.failed_history is not None:
+            return "FAIL"
+        if self.exhausted:
+            return "EXHAUSTED"
+        return "PASS"
+
+    def counterexample_text(self) -> str | None:
+        if self.failed is not None:
+            return self.failed.describe()
+        if self.failed_history is not None:
+            return str(self.failed_history)
+        return None
+
+    # -- observability ----------------------------------------------------
+
+    def frontier_size(self) -> int:
+        return sum(c.frontier_size for c in self._cells.values())
+
+    def live_configs(self) -> int:
+        return sum(c.live_configs for c in self._cells.values())
+
+    def retired(self) -> int:
+        return sum(c.retired for c in self._cells.values())
+
+    def configurations(self) -> int:
+        return sum(c.configurations for c in self._cells.values())
+
+    def max_frontier(self) -> int:
+        return max((c.max_frontier for c in self._cells.values()), default=0)
+
+    def max_retirement_lag(self) -> int:
+        return max(
+            (c.max_retirement_lag for c in self._cells.values()), default=0
+        )
+
+    def stats(self) -> dict:
+        """One JSON-able snapshot of everything observable."""
+        return {
+            **self.counters.to_dict(),
+            "verdict": self.verdict,
+            "frontier": self.frontier_size(),
+            "live_configs": self.live_configs(),
+            "retired": self.retired(),
+            "configurations": self.configurations(),
+            "max_frontier": self.max_frontier(),
+            "max_retirement_lag": self.max_retirement_lag(),
+            "finalized": self.finalized,
+        }
+
+    # -- feeding ----------------------------------------------------------
+
+    def feed(self, obj: dict) -> bool:
+        """Consume one parsed trace line; False once the verdict is FAIL."""
+        self.counters.events += 1
+        if self.version is None:
+            self._consume_header(obj)
+            return True
+        if obj.get("format") == TRACE_FORMAT:
+            raise TraceError(
+                "a second trace header mid-stream "
+                "(two writers sharing one trace?)"
+            )
+        if self.version == TRACE_VERSION:
+            return self._consume_history_record(obj)
+        return self._consume_live_event(obj)
+
+    def _consume_header(self, obj: dict) -> None:
+        if obj.get("format") != TRACE_FORMAT:
+            raise TraceError(
+                f"not a trace: first line has format {obj.get('format')!r}"
+            )
+        version = obj.get("version")
+        if version not in (TRACE_VERSION, TRACE_VERSION_LIVE):
+            raise TraceError(f"unsupported trace version {version!r}")
+        self.version = version
+        self.header = obj
+        if version == TRACE_VERSION:
+            try:
+                self.n_threads = int(obj["n_threads"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise TraceError(
+                    "v1 trace header lacks a valid n_threads"
+                ) from exc
+
+    # -- v1: one complete history per line --------------------------------
+
+    def _consume_history_record(self, record: dict) -> bool:
+        try:
+            history = record_to_history(record, self.n_threads)
+        except (KeyError, TypeError, ValueError, SyntaxError) as exc:
+            raise TraceError(f"malformed history record: {exc}") from None
+        self.counters.histories += 1
+        try:
+            verdict = monitor_history(
+                history,
+                self.model,
+                engine=self.monitor_engine,
+                max_configurations=self.max_configurations,
+            )
+        except MonitorLimitError:
+            self.exhausted = True
+            return True
+        if not verdict.ok:
+            self.failed_history = history
+            self._offline_verdict = verdict
+            return False
+        return True
+
+    # -- v2: one live event per line ---------------------------------------
+
+    def _cell_for(self, invocation) -> Hashable:
+        """Route an invocation to its cell (or :data:`_FOREIGN`)."""
+        if not self.partition:
+            return None
+        cell = self.model.partition_key(invocation)
+        if cell is None:
+            raise PartitionUnsound(invocation)
+        if self.shards > 1 and stable_shard(cell, self.shards) != self.shard_index:
+            return _FOREIGN
+        return cell
+
+    def _checker(self, cell: Hashable) -> IncrementalChecker | None:
+        if cell in self._dead_cells:
+            return None
+        checker = self._cells.get(cell)
+        if checker is None:
+            checker = IncrementalChecker(
+                self.model, max_configurations=self.max_configurations
+            )
+            self._cells[cell] = checker
+            self.counters.cells += 1
+        return checker
+
+    def _consume_live_event(self, obj: dict) -> bool:
+        if self.outcome is not None:
+            raise TraceError(
+                "event after the end marker (two writers sharing one trace?)"
+            )
+        kind = obj.get("e")
+        if kind == "end":
+            try:
+                self.outcome = str(obj["outcome"])
+            except KeyError as exc:
+                raise TraceError("end marker lacks an outcome") from exc
+            return True
+        try:
+            thread = int(obj["t"])
+            op_index = int(obj["i"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"malformed live event: {exc}") from None
+        key = (thread, op_index)
+        if kind == "x":
+            if key not in self._open_cell:
+                raise TraceError(
+                    f"indeterminate marker for operation {key} "
+                    "which has no open call"
+                )
+            cell = self._open_cell[key]
+            self.counters.indeterminate += 1
+            if cell is not _FOREIGN:
+                checker = self._checker(cell)
+                if checker is not None:
+                    checker.on_indeterminate(thread, op_index)
+            return True
+        try:
+            event = _event_from_obj(obj)
+        except (KeyError, TypeError, ValueError, SyntaxError) as exc:
+            raise TraceError(f"malformed live event: {exc}") from None
+        if event.is_call:
+            if key in self._open_cell:
+                raise TraceError(
+                    f"duplicate call for operation {key} "
+                    "(two writers sharing one trace?)"
+                )
+            if thread in self._thread_busy:
+                raise TraceError(
+                    f"thread {thread} issued a call while one is still open "
+                    "(two writers sharing one trace?)"
+                )
+            cell = self._cell_for(event.invocation)
+            self._open_cell[key] = cell
+            self._thread_busy[thread] = key
+            self.counters.calls += 1
+            if cell is _FOREIGN:
+                self.counters.skipped += 1
+                return True
+            checker = self._checker(cell)
+            if checker is not None:
+                checker.on_call(thread, op_index, event.invocation)
+            return True
+        # return event
+        if key not in self._open_cell:
+            raise TraceError(
+                f"return for operation {key} which has no open call"
+            )
+        cell = self._open_cell.pop(key)
+        # The thread is free again (an indeterminate op never returns, so
+        # its thread stays retired forever — matching the live recorder).
+        self._thread_busy.pop(thread, None)
+        self.counters.returns += 1
+        if cell is _FOREIGN:
+            self.counters.skipped += 1
+            return True
+        checker = self._checker(cell)
+        if checker is None:
+            return True  # cell gave up (EXHAUSTED); events still validated
+        assert event.response is not None
+        try:
+            ok = checker.on_return(thread, op_index, event.response)
+        except MonitorLimitError:
+            self.exhausted = True
+            self.counters.exhausted_cells += 1
+            self._dead_cells.add(cell)
+            del self._cells[cell]
+            return True
+        if not ok:
+            self.failed = checker.failed
+            return False
+        return True

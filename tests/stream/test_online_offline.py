@@ -1,0 +1,115 @@
+"""Online vs offline: the streaming checker agrees with the batch monitor.
+
+The incremental engine retires linearized prefixes as it goes, so its
+configuration sets are *not* the batch monitor's — agreement is a real
+theorem, not a tautology.  The suite replays every explored concurrent
+history of ``ConcurrentQueue`` and ``ConcurrentDictionary`` (≥ 200 across
+the parametrizations) event-by-event through :class:`IncrementalChecker`
+and compares the verdict with :func:`monitor_history`; every online FAIL
+must also carry a counterexample.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FiniteTest, Invocation, SystemUnderTest, TestHarness
+from repro.monitor import get_model, monitor_history
+from repro.monitor.incremental import IncrementalChecker
+from repro.runtime import DFSStrategy
+from repro.structures.registry import get_class
+
+from tests.monitor.test_cross_validation import SUBJECTS, random_tests
+
+
+def explored_histories(scheduler, model_name, version, test):
+    cls, _alphabet = SUBJECTS[model_name]
+    entry = get_class(cls)
+    subject = SystemUnderTest(entry.factory(version), f"{cls}({version})")
+    with TestHarness(subject, scheduler=scheduler) as harness:
+        return [
+            history
+            for history, _outcome in harness.explore_concurrent(
+                test, DFSStrategy(preemption_bound=2), max_executions=150
+            )
+        ]
+
+
+def replay_online(history, model):
+    """Feed a recorded history event-by-event; return the checker."""
+    checker = IncrementalChecker(model)
+    alive = True
+    for event in history.events:
+        if not alive:
+            break  # FAIL is final: the stream stops at the violation
+        if event.is_call:
+            checker.on_call(event.thread, event.op_index, event.invocation)
+        else:
+            alive = checker.on_return(
+                event.thread, event.op_index, event.response
+            )
+    return checker
+
+
+@pytest.mark.parametrize("model_name", ["queue", "dict"])
+@pytest.mark.parametrize("version", ["beta", "pre"])
+def test_online_matches_offline_verdicts(scheduler, model_name, version):
+    model = get_model(model_name)
+    checked = 0
+    disagreements = []
+    seed = sum(map(ord, model_name + version))  # stable across processes
+    for test in random_tests(model_name, seed=seed, count=3):
+        for history in explored_histories(
+            scheduler, model_name, version, test
+        ):
+            if history.stuck:
+                continue  # blocked ops never returned: nothing to stream
+            offline_ok = monitor_history(history, model).ok
+            checker = replay_online(history, model)
+            if checker.ok != offline_ok:
+                disagreements.append((history, offline_ok, checker.ok))
+            if not checker.ok:
+                # Every online FAIL names the operation that broke it.
+                assert checker.failed is not None
+                assert checker.failed.describe()
+            checked += 1
+    assert not disagreements, disagreements[0]
+    assert checked >= 50  # × 4 parametrizations ⇒ ≥ 200 histories overall
+
+
+@pytest.mark.parametrize("model_name", ["queue", "dict"])
+def test_online_retires_while_agreeing(scheduler, model_name):
+    """On passing histories the online engine actually retires prefixes —
+    agreement is not achieved by keeping everything live forever."""
+    model = get_model(model_name)
+    retired_any = False
+    for test in random_tests(model_name, seed=7, count=2):
+        for history in explored_histories(scheduler, model_name, "beta", test):
+            if history.stuck:
+                continue
+            checker = replay_online(history, model)
+            if checker.ok and checker.retired:
+                retired_any = True
+                assert checker.frontier_size == 0
+    assert retired_any
+
+
+def test_online_fails_figure1_history(scheduler):
+    """The paper's Figure 1 violation is caught online, mid-stream."""
+    model = get_model("queue")
+    test = FiniteTest.of(
+        [
+            [Invocation("Enqueue", (200,)), Invocation("TryDequeue")],
+            [Invocation("Enqueue", (400,)), Invocation("TryDequeue")],
+        ]
+    )
+    histories = explored_histories(scheduler, "queue", "pre", test)
+    online_fails = [
+        h
+        for h in histories
+        if not h.stuck and not replay_online(h, model).ok
+    ]
+    offline_fails = [
+        h for h in histories if not h.stuck and not monitor_history(h, model).ok
+    ]
+    assert offline_fails and online_fails == offline_fails
