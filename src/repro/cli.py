@@ -70,6 +70,7 @@ from repro.core import (
 from repro.core.budget import BudgetMeter, ExplorationBudget, ExplorationControl
 from repro.core.campaign import (
     TestSummary,
+    campaign_verdict,
     render_table2,
     row_from_dict,
     row_to_dict,
@@ -841,14 +842,7 @@ def _run_campaign_plan(
         print(f"campaign {what}; the table above is partial")
         if checkpoint:
             print(f"state saved; continue with: python -m repro resume {checkpoint}")
-    if stop_reason == "interrupted":
-        return EXIT_INTERRUPTED
-    failed = any(row.tests_failed > 0 or bool(row.causes_found) for row in rows)
-    if failed:
-        return EXIT_FAIL
-    if stop_reason is not None:
-        return EXIT_EXHAUSTED
-    return EXIT_PASS
+    return _campaign_exit_code(rows, stop_reason)
 
 
 def _campaign_exit_code(rows: list, stop_reason: str | None) -> int:
@@ -858,8 +852,7 @@ def _campaign_exit_code(rows: list, stop_reason: str | None) -> int:
     crashed = sum(row.tests_crashed for row in rows)
     if tests_run and crashed == tests_run:
         return EXIT_ALLCRASHED
-    failed = any(row.tests_failed > 0 or bool(row.causes_found) for row in rows)
-    if failed:
+    if campaign_verdict(rows) == "FAIL":
         return EXIT_FAIL
     if stop_reason is not None:
         return EXIT_EXHAUSTED
@@ -1068,9 +1061,275 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         "reduction": args.reduction,
         "engine": getattr(args, "engine", "baton"),
     }
+    if args.generate:
+        if args.checkpoint:
+            raise CliError(
+                "campaign --generate does not checkpoint; use "
+                "'generate --corpus-dir DIR' for resumable generation"
+            )
+        params["budget"] = args.budget
+        params["gen_seeds"] = 4
+        params["max_rows"] = args.rows
+        params["max_cols"] = args.cols
+        return _run_generate_plan(plan, params)
     if args.isolate:
         return _run_campaign_plan_isolated(plan, params, args.checkpoint, [])
     return _run_campaign_plan(plan, params, args.checkpoint, [])
+
+
+def _generate_check_config(params: dict) -> CheckConfig:
+    """The per-candidate check configuration of a generation campaign."""
+    return CheckConfig(
+        phase2_strategy=(
+            "dfs" if params.get("reduction", "none") != "none" else "random"
+        ),
+        reduction=params.get("reduction", "none"),
+        phase2_executions=params.get("schedules", 150),
+        seed=params.get("seed", 0),
+        max_serial_executions=2000,
+        watchdog_seconds=params.get("watchdog"),
+        engine=params.get("engine", "baton"),
+    )
+
+
+def _generate_exit_code(report) -> int:
+    """Exit-code mapping for a generation report.
+
+    Mirrors the campaign contract: only a deduplicated failure is a
+    failing exit; a fully consumed execution budget is normal completion
+    (the budget *is* the plan), while a deadline/decision stop or an
+    interrupt reports the campaign as cut short.
+    """
+    if report.stop_reason == "interrupted":
+        return EXIT_INTERRUPTED
+    if report.failures:
+        return EXIT_FAIL
+    if report.stop_reason is not None:
+        return EXIT_EXHAUSTED
+    return EXIT_PASS
+
+
+def _run_generate(
+    name: str,
+    version: str,
+    params: dict,
+    checkpoint: str | None,
+    resume_document: dict | None = None,
+    fresh_deadline: float | None = None,
+    fresh_budget: int | None = None,
+    json_output: bool = False,
+):
+    """Run (or resume) one generation campaign; returns its report.
+
+    *params* carries the CLI knobs (both the GenerateConfig fields and
+    the isolation/pool flags); on resume the checkpointed configs win
+    and *params* only supplies the pool/provider plumbing.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.report import render_generation_report
+    from repro.generate import (
+        GenerateConfig,
+        parse_generate_state,
+        run_generation_campaign,
+    )
+
+    provider = params.get("provider")
+    entry = _provider_get_class(provider)(name)
+    resume = None
+    if resume_document is not None:
+        config, gen, resume = parse_generate_state(resume_document)
+    else:
+        config = _generate_check_config(params)
+        gen = GenerateConfig(
+            budget=params.get("budget", 2000),
+            seeds=params.get("gen_seeds", 4),
+            seed=params.get("seed", 0),
+            max_rows=params.get("max_rows", 3),
+            max_cols=params.get("max_cols", 3),
+            deadline=params.get("deadline"),
+        )
+    if fresh_deadline is not None:
+        gen = _replace(gen, deadline=fresh_deadline)
+    if fresh_budget is not None:
+        gen = _replace(gen, budget=fresh_budget)
+    budget = ExplorationBudget(
+        deadline_seconds=gen.deadline, max_executions=gen.budget
+    )
+    stopper = _SignalStop().install()
+    control = ExplorationControl(budget=budget, stop=stopper)
+    if resume is not None and resume.meter_snapshot is not None:
+        snapshot = resume.meter_snapshot
+        if fresh_deadline is not None:
+            snapshot = _override_deadline(snapshot, fresh_deadline)
+        restored = BudgetMeter.from_snapshot(snapshot)
+        control.meter = BudgetMeter(
+            budget=budget,
+            elapsed=restored.elapsed,
+            executions=restored.executions,
+            decisions=restored.decisions,
+        )
+    control.start()
+    checkpointer = None
+    if checkpoint:
+        # Every folded candidate is persisted: candidates are expensive
+        # (a whole two-phase check each), checkpoints are cheap.
+        checkpointer = Checkpointer(
+            checkpoint,
+            every_executions=1,
+            extra={
+                "subject": {
+                    "cls": entry.name,
+                    "version": version,
+                    "provider": provider,
+                },
+                "params": params,
+            },
+        )
+    scheduler = None
+    try:
+        if params.get("isolate"):
+            from repro.exec import PoolConfig, ResourceLimits, WorkerPool
+
+            pool_config = PoolConfig(
+                workers=params.get("workers") or 2,
+                start_method=params.get("start_method") or "spawn",
+                limits=ResourceLimits(mem_limit_mb=params.get("mem_limit_mb")),
+                max_retries=(
+                    params["max_retries"]
+                    if params.get("max_retries") is not None
+                    else 2
+                ),
+                report_dir=params.get("report_dir"),
+            )
+            with WorkerPool(pool_config) as pool:
+                print(f"worker reports in {pool.report_dir}")
+                report = run_generation_campaign(
+                    entry,
+                    version,
+                    config,
+                    gen,
+                    control=control,
+                    checkpointer=checkpointer,
+                    resume=resume,
+                    pool=pool,
+                    provider=provider,
+                )
+        else:
+            scheduler = make_scheduler(
+                config.engine, watchdog=config.watchdog_seconds
+            )
+            report = run_generation_campaign(
+                entry,
+                version,
+                config,
+                gen,
+                scheduler=scheduler,
+                control=control,
+                checkpointer=checkpointer,
+                resume=resume,
+            )
+    finally:
+        stopper.uninstall()
+        if scheduler is not None:
+            scheduler.shutdown()
+    if json_output:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(f"generation campaign: {entry.name}({version})")
+        print(render_generation_report(report))
+        if report.stop_reason is not None and checkpoint:
+            print(f"state saved; continue with: python -m repro resume {checkpoint}")
+    return report
+
+
+def _run_generate_plan(plan: "list[tuple[str, str]]", params: dict) -> int:
+    """``campaign --generate``: one generation campaign per plan entry."""
+    codes = []
+    for position, (name, version) in enumerate(plan):
+        if position:
+            print()
+        report = _run_generate(name, version, params, checkpoint=None)
+        codes.append(_generate_exit_code(report))
+        if codes[-1] == EXIT_INTERRUPTED:
+            break
+    for code in (EXIT_INTERRUPTED, EXIT_FAIL, EXIT_EXHAUSTED):
+        if code in codes:
+            return code
+    return EXIT_PASS
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    import os
+
+    if args.budget is not None and args.budget < 1:
+        raise CliError("--budget must be a positive number of executions")
+    if args.deadline is not None and args.deadline <= 0:
+        raise CliError("--deadline must be a positive number of seconds")
+    if args.seeds < 1:
+        raise CliError("--seeds must be >= 1")
+    if args.max_rows < 1 or args.max_cols < 1:
+        raise CliError("--max-rows/--max-cols must be >= 1")
+    if args.workers < 1:
+        raise CliError("--workers must be >= 1")
+    params = {
+        "budget": args.budget,
+        "gen_seeds": args.seeds,
+        "seed": args.seed,
+        "max_rows": args.max_rows,
+        "max_cols": args.max_cols,
+        "deadline": args.deadline,
+        "schedules": args.schedules,
+        "reduction": args.reduction,
+        "engine": getattr(args, "engine", "baton"),
+        "watchdog": args.watchdog,
+        "isolate": args.isolate,
+        "workers": args.workers,
+        "mem_limit_mb": args.mem_limit_mb,
+        "max_retries": args.max_retries,
+        "start_method": args.start_method,
+        "report_dir": args.report_dir,
+        "provider": args.provider,
+    }
+    checkpoint = None
+    resume_document = None
+    if args.corpus_dir:
+        os.makedirs(args.corpus_dir, exist_ok=True)
+        checkpoint = os.path.join(args.corpus_dir, "corpus.json")
+        if os.path.exists(checkpoint):
+            document = load_checkpoint(checkpoint)
+            if document.get("kind") != "generate":
+                raise CliError(
+                    f"{checkpoint} is not a generation corpus checkpoint"
+                )
+            subject = document.get("subject") or {}
+            if (subject.get("cls"), subject.get("version")) != (
+                args.cls, args.version,
+            ):
+                raise CliError(
+                    f"{checkpoint} belongs to "
+                    f"{subject.get('cls')}({subject.get('version')}), "
+                    f"not {args.cls}({args.version}); pick another "
+                    "--corpus-dir"
+                )
+            resume_document = document
+            print(f"resuming from corpus {checkpoint}")
+    report = _run_generate(
+        args.cls,
+        args.version,
+        params,
+        checkpoint,
+        resume_document=resume_document,
+        # On resume the current command's budget/deadline apply (totals
+        # across sessions); the checkpoint keeps the stream-defining
+        # mutation parameters.
+        fresh_deadline=args.deadline if resume_document else None,
+        fresh_budget=args.budget if resume_document else None,
+        json_output=args.json,
+    )
+    return _generate_exit_code(report)
 
 
 def _override_deadline(snapshot: dict | None, deadline: float) -> dict | None:
@@ -1220,6 +1479,25 @@ def cmd_resume(args: argparse.Namespace) -> int:
 
     if document["kind"] == "swarm":
         return _resume_swarm(args, document)
+
+    if document["kind"] == "generate":
+        subject_info = document.get("subject") or {}
+        if "cls" not in subject_info or "version" not in subject_info:
+            raise CliError("generate checkpoint lacks subject info")
+        params = document.get("params") or {}
+        print(
+            f"Resuming generation campaign of {subject_info['cls']}"
+            f"({subject_info['version']}) from {args.checkpoint}"
+        )
+        report = _run_generate(
+            subject_info["cls"],
+            subject_info["version"],
+            params,
+            args.checkpoint,
+            resume_document=document,
+            fresh_deadline=args.deadline,
+        )
+        return _generate_exit_code(report)
 
     # kind == "check"
     subject_info = document.get("subject") or {}
@@ -1693,6 +1971,17 @@ def build_parser() -> argparse.ArgumentParser:
              "generator engine — identical decision traces, faster under "
              "core contention; see docs/PERFORMANCE.md)",
     )
+    p_campaign.add_argument(
+        "--generate", action="store_true",
+        help="replace uniform RandomCheck sampling with the "
+             "coverage-guided generation loop (see 'generate --help'); "
+             "--rows/--cols become matrix growth bounds",
+    )
+    p_campaign.add_argument(
+        "--budget", type=int, default=2000, metavar="N",
+        help="with --generate: SUT-execution budget per class/version "
+             "(default: 2000)",
+    )
     _add_reduction_option(p_campaign)
     _add_provider_option(p_campaign)
     _add_isolation_options(p_campaign)
@@ -1700,9 +1989,76 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_dump_option(p_campaign)
     p_campaign.set_defaults(func=cmd_campaign)
 
+    p_generate = sub.add_parser(
+        "generate",
+        help="coverage-guided scenario generation: mutate a corpus of "
+             "tests towards unseen execution equivalence classes",
+        epilog=_EXIT_CODE_HELP,
+    )
+    p_generate.add_argument("cls", metavar="CLASS", help="registry class name")
+    p_generate.add_argument(
+        "--version", choices=("pre", "beta"), default="beta",
+        help="library vintage to test (default: beta)",
+    )
+    p_generate.add_argument(
+        "--budget", type=int, default=2000, metavar="N",
+        help="total SUT executions (both phases, all candidates) the "
+             "campaign may spend (default: 2000)",
+    )
+    p_generate.add_argument(
+        "--corpus-dir", metavar="DIR",
+        help="persist the corpus + campaign state to DIR/corpus.json "
+             "(atomic writes) and auto-resume from it on the next run",
+    )
+    p_generate.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign PRNG seed; the candidate stream is a deterministic "
+             "function of it (default: 0)",
+    )
+    p_generate.add_argument(
+        "--seeds", type=int, default=4, metavar="N",
+        help="seed-corpus size: tiny starter tests before mutation "
+             "takes over (default: 4)",
+    )
+    p_generate.add_argument(
+        "--max-rows", type=int, default=3, metavar="N",
+        help="matrix growth bound: invocations per thread (default: 3)",
+    )
+    p_generate.add_argument(
+        "--max-cols", type=int, default=3, metavar="N",
+        help="matrix growth bound: threads (default: 3)",
+    )
+    p_generate.add_argument(
+        "--schedules", type=int, default=150, metavar="N",
+        help="phase-2 schedules sampled per candidate (default: 150)",
+    )
+    p_generate.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock budget; on expiry the campaign stops with "
+             "partial results and exit code 2",
+    )
+    p_generate.add_argument(
+        "--watchdog", type=float, metavar="SECONDS",
+        help="max seconds one operation may run between scheduling "
+             "points before the execution is classified divergent",
+    )
+    p_generate.add_argument(
+        "--engine", choices=ENGINES, default="baton",
+        help="scheduler engine (default: baton; see docs/PERFORMANCE.md)",
+    )
+    p_generate.add_argument(
+        "--json", action="store_true",
+        help="print the full report (curve, failures, corpus stats) as JSON",
+    )
+    _add_reduction_option(p_generate)
+    _add_provider_option(p_generate)
+    _add_isolation_options(p_generate)
+    p_generate.set_defaults(func=cmd_generate)
+
     p_resume = sub.add_parser(
         "resume",
-        help="continue an interrupted check/campaign from its checkpoint",
+        help="continue an interrupted check/campaign/generation from "
+             "its checkpoint",
         epilog=_EXIT_CODE_HELP,
     )
     p_resume.add_argument(

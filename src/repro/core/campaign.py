@@ -25,6 +25,7 @@ from repro.core.budget import ExplorationControl
 from repro.core.checker import CheckConfig, CheckResult, check_with_harness
 from repro.core.harness import SystemUnderTest, TestHarness
 from repro.core.testcase import sample_tests
+from repro.core.verdict import worst_verdict
 from repro.runtime import Scheduler
 from repro.structures.registry import ClassUnderTest
 
@@ -32,6 +33,7 @@ __all__ = [
     "CampaignRow",
     "TestSummary",
     "campaign_row",
+    "campaign_verdict",
     "render_table2",
     "row_from_dict",
     "row_from_summaries",
@@ -215,6 +217,31 @@ def row_from_summaries(
     if pass_times:
         row.pass_avg_s = sum(pass_times) / len(pass_times)
     return row
+
+
+def campaign_verdict(rows: "Sequence[CampaignRow]") -> str:
+    """The campaign-level verdict implied by finished *rows*.
+
+    Each row contributes the verdicts its tests produced (a failed test
+    or a confirmed curated cause is a FAIL; quarantines and flaky
+    re-runs surface as their own verdicts) and the shared lattice of
+    :func:`repro.core.verdict.worst_verdict` merges them.  Only a FAIL
+    maps to a failing exit code — a crashed or flaky test is reported,
+    not treated as a proven violation.
+    """
+    verdicts: list[str] = []
+    for row in rows:
+        if row.tests_failed or row.causes_found:
+            verdicts.append("FAIL")
+        if row.tests_nondet:
+            verdicts.append("nondeterministic-verdict")
+        if row.tests_crashed:
+            verdicts.append("CRASHED")
+        if row.stop_reason is not None:
+            verdicts.append("EXHAUSTED")
+        if row.tests_passed:
+            verdicts.append("PASS")
+    return worst_verdict(verdicts)
 
 
 def run_class_campaign(

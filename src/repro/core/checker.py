@@ -29,6 +29,7 @@ from repro.core.harness import Phase1Stats, SystemUnderTest, TestHarness
 from repro.core.history import History, SerialHistory
 from repro.core.spec import NondeterminismWitness, ObservationSet
 from repro.core.testcase import FiniteTest
+from repro.core.verdict import VERDICT_PRECEDENCE, worst_verdict
 from repro.core.witness import check_full_history, check_stuck_history
 from repro.runtime import (
     Decision,
@@ -60,30 +61,9 @@ NONDETERMINISTIC = "nondeterministic-specification"
 NO_FULL_WITNESS = "non-linearizable-history"
 NO_STUCK_WITNESS = "non-linearizable-blocking"
 
-#: Aggregation order for per-test verdicts, worst first.  A FAIL is a
-#: proof (Theorem 5) and dominates everything; a flaky verdict
-#: (re-runs of a FAIL disagreed, see :mod:`repro.exec.supervisor`) is
-#: stronger evidence of trouble than a test that merely crashed its
-#: worker; CRASHED beats EXHAUSTED (the test never completed vs. it ran
-#: out of budget); PASS only survives when nothing worse happened.
-VERDICT_PRECEDENCE = (
-    "FAIL",
-    "nondeterministic-verdict",
-    "CRASHED",
-    "EXHAUSTED",
-    "PASS",
-)
-
-
-def worst_verdict(verdicts) -> str:
-    """The campaign-level verdict implied by per-test *verdicts*."""
-    pool = list(verdicts)
-    if not pool:
-        return "PASS"
-    for verdict in VERDICT_PRECEDENCE:
-        if verdict in pool:
-            return verdict
-    return pool[0]  # unknown verdicts surface rather than vanish
+# VERDICT_PRECEDENCE / worst_verdict historically lived here; they are
+# re-exported from :mod:`repro.core.verdict`, the single source of the
+# severity order shared by campaigns, swarms, watches and generation.
 
 
 @dataclass(frozen=True)
@@ -272,6 +252,7 @@ def check(
     control: ExplorationControl | None = None,
     checkpointer: "Checkpointer | None" = None,
     resume: "CheckResume | None" = None,
+    fingerprints: "Any | None" = None,
 ) -> CheckResult:
     """Run the two-phase Check of Figure 5 on one finite test."""
     cfg = config or CheckConfig()
@@ -289,6 +270,7 @@ def check(
             control=control,
             checkpointer=checkpointer,
             resume=resume,
+            fingerprints=fingerprints,
         )
 
 
@@ -300,13 +282,18 @@ def check_with_harness(
     control: ExplorationControl | None = None,
     checkpointer: "Checkpointer | None" = None,
     resume: "CheckResume | None" = None,
+    fingerprints: "Any | None" = None,
 ) -> CheckResult:
     """Like :func:`check` but reusing an existing harness/scheduler.
 
     *control* carries the exploration budget and stop flag (one is
     derived from ``config.budget`` when absent); *checkpointer*
     periodically persists the exploration frontier; *resume* continues a
-    previous partial run parsed from a checkpoint.
+    previous partial run parsed from a checkpoint.  *fingerprints* is a
+    caller-owned :class:`repro.reduction.FingerprintSet` that phase 2
+    populates with the digest of every explored execution — the
+    coverage-harvest hook of :mod:`repro.generate` (without it only the
+    class *count* survives in the result).
     """
     cfg = config or CheckConfig()
     if control is None and cfg.budget is not None:
@@ -333,7 +320,10 @@ def check_with_harness(
                 "the monitor backend does not support checkpoint/resume"
             )
         result = CheckResult(verdict="PASS", test=test)
-        _run_phase2(harness, test, None, cfg, result, control=control)
+        _run_phase2(
+            harness, test, None, cfg, result,
+            control=control, fingerprints=fingerprints,
+        )
         return result
     if cfg.backend != "observations":
         raise ValueError(f"unknown check backend {cfg.backend!r}")
@@ -432,7 +422,6 @@ def check_with_harness(
 
     # ---- Phase 2: check the concurrent executions against A and B.
     phase2_strategy = None
-    fingerprints = None
     if resume is not None and resume.phase == "phase2":
         from repro.reduction import FingerprintSet
 
@@ -442,9 +431,13 @@ def check_with_harness(
         result.phase2_stuck = int(resume.phase2.get("stuck", 0))
         result.phase2_divergent = int(resume.phase2.get("divergent", 0))
         result.phase2_seconds = float(resume.phase2.get("seconds", 0.0))
-        fingerprints = FingerprintSet.from_snapshot(
+        restored = FingerprintSet.from_snapshot(
             resume.phase2.get("fingerprints")
         )
+        if fingerprints is None:
+            fingerprints = restored
+        else:
+            fingerprints.update(restored)
     _run_phase2(
         harness,
         test,

@@ -195,7 +195,9 @@ def load_checkpoint(path: str) -> dict:
             f"checkpoint {path!r} has version {document.get('version')!r}; "
             f"this build reads version {VERSION}"
         )
-    if document.get("kind") not in ("check", "campaign", "swarm", "shard-result"):
+    if document.get("kind") not in (
+        "check", "campaign", "swarm", "shard-result", "generate",
+    ):
         raise CheckpointError(
             f"checkpoint {path!r} has unknown kind {document.get('kind')!r}"
         )

@@ -122,7 +122,9 @@ def _run_task(spec: dict) -> dict:
     ``"check"`` (the default) runs a full two-phase check; ``"probe"``
     and ``"shard"`` are the swarm task kinds (partition probing and
     lease execution — see :mod:`repro.swarm.worker`); ``"stream"`` runs
-    one shard of a streaming watch (see :mod:`repro.stream.worker`).
+    one shard of a streaming watch (see :mod:`repro.stream.worker`);
+    ``"generate"`` checks one generation candidate and harvests its
+    coverage fingerprints (see :mod:`repro.generate.worker`).
     """
     kind = spec.get("kind") or "check"
     if kind == "probe":
@@ -137,6 +139,10 @@ def _run_task(spec: dict) -> dict:
         from repro.stream.worker import run_stream_task
 
         return run_stream_task(spec)
+    if kind == "generate":
+        from repro.generate.worker import run_generate_task
+
+        return run_generate_task(spec)
 
     from repro.core.campaign import TestSummary
     from repro.core.checker import check

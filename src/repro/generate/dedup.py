@@ -1,0 +1,69 @@
+"""Failure deduplication by root-cause fingerprint.
+
+A generation campaign that mutates towards a bug will hit that bug over
+and over — the same race reached through dozens of matrices and hundreds
+of schedules.  Reporting each occurrence separately would bury the
+signal, so failures are bucketed by a *root-cause fingerprint*: a digest
+of what went wrong (the violation kind), on what subject, involving
+which multiset of methods, and — for blocking violations — which
+operation got stuck.  One bug is reported once, with an occurrence
+count, no matter how many candidates rediscovered it.
+
+The fingerprint is deliberately coarse.  It ignores argument values,
+operation multiplicities, matrix shape, and the schedule, because those
+all vary freely across rediscoveries of one underlying race (a bug
+found in a 2×2 matrix is found again in every 3×3 matrix extending it);
+it keeps the *set* of involved methods because genuinely different bugs
+in one class almost always involve different operations (compare the
+per-version causes in Table 2).  Two distinct bugs with identical kind
+and method set would collapse into one bucket — an accepted trade-off,
+mirroring how fuzzers bucket crashes by stack hash rather than by
+proven root cause.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+__all__ = ["failure_record", "root_cause_fingerprint"]
+
+
+def _method_set(operations: Iterable) -> str:
+    methods = set()
+    for op in operations:
+        invocation = getattr(op, "invocation", op)
+        methods.add(getattr(invocation, "method", None) or str(invocation))
+    return ",".join(sorted(methods))
+
+
+def root_cause_fingerprint(violation, subject: str) -> str:
+    """Bucket digest for one :class:`~repro.core.checker.Violation`."""
+    parts = [subject, violation.kind]
+    if violation.nondeterminism is not None:
+        witness = violation.nondeterminism
+        invocation = getattr(witness, "invocation", None)
+        parts.append(getattr(invocation, "method", None) or str(invocation))
+    if violation.history is not None:
+        parts.append(_method_set(violation.history.operations))
+    if violation.pending_op is not None:
+        pending = getattr(violation.pending_op, "invocation", violation.pending_op)
+        parts.append("pending:" + (getattr(pending, "method", None) or str(pending)))
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8", "backslashreplace"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:16]
+
+
+def failure_record(violation, subject: str, test) -> dict:
+    """The JSON-able failure payload a worker (or in-process check) emits."""
+    from repro.core.checkpoint import test_to_dict
+
+    return {
+        "fingerprint": root_cause_fingerprint(violation, subject),
+        "kind": violation.kind,
+        "description": violation.describe(),
+        "test": test_to_dict(test),
+        "matrix": str(test),
+    }

@@ -1,0 +1,207 @@
+"""Mutation engine over finite-test matrices.
+
+Uniform sampling (``RandomCheck``, Fig. 8) draws every test from the full
+``M^I_{3×3}`` space, and every 3×3 test pays the same enormous phase-1
+bill — ``multinomial(9; 3,3,3)`` serial interleavings — whether or not
+its behaviour differs from tests already run.  The generation subsystem
+instead *grows* tests: it starts from tiny seeds and applies small,
+seeded mutations to corpus entries that previously reached new execution
+equivalence classes, so matrix size (and with it phase-1 cost) is only
+spent where the coverage signal says the behaviour space is still
+expanding.
+
+Everything here is deterministic by construction.  Each candidate index
+gets its own :class:`random.Random` derived from ``sha256(seed, index)``
+— never from :func:`hash`, whose value differs between processes under
+``PYTHONHASHSEED`` randomization — so the candidate stream is a pure
+function of ``(seed, corpus state)`` and replays identically across
+resume and across worker start methods.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence
+
+from repro.core.events import Invocation
+from repro.core.testcase import FiniteTest, sample_tests
+
+__all__ = ["MUTATION_OPS", "MutationEngine", "candidate_rng"]
+
+#: The mutation operators, in the order the engine draws from them.
+MUTATION_OPS = ("add", "remove", "swap", "replace", "splice")
+
+#: Attempts per candidate before the engine gives up (tiny alphabets can
+#: make every operator a no-op on a given parent).
+_MAX_ATTEMPTS = 12
+
+
+def candidate_rng(seed: int, index: int) -> random.Random:
+    """A private PRNG for candidate *index* of a campaign seeded *seed*.
+
+    Derived via sha256 so it is stable across processes, platforms, and
+    multiprocessing start methods — the determinism anchor of the whole
+    subsystem.
+    """
+    digest = hashlib.sha256(
+        f"lineup-generate:{seed}:{index}".encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class MutationEngine:
+    """Seeded mutations over test matrices, bounded by max dimensions.
+
+    The operator set mirrors classic coverage-guided fuzzers, transposed
+    to invocation matrices:
+
+    * ``add`` — insert an alphabet invocation into a column (or open a
+      new column, which varies the thread count);
+    * ``remove`` — delete one invocation (empty columns are dropped);
+    * ``swap`` — exchange two invocation positions, possibly across
+      columns (thread-assignment variation);
+    * ``replace`` — overwrite one position with a different alphabet
+      entry (argument variation, since alphabet entries carry their
+      argument tuples);
+    * ``splice`` — recombine columns of the parent with columns of
+      another corpus entry.
+    """
+
+    def __init__(
+        self,
+        alphabet: Sequence[Invocation],
+        *,
+        max_rows: int = 3,
+        max_cols: int = 3,
+        init: Sequence[Invocation] = (),
+        final: Sequence[Invocation] = (),
+    ) -> None:
+        if not alphabet:
+            raise ValueError("mutation needs a non-empty invocation alphabet")
+        if max_rows < 1 or max_cols < 1:
+            raise ValueError("max dimensions must be >= 1")
+        self.alphabet = tuple(alphabet)
+        self.max_rows = max_rows
+        self.max_cols = max_cols
+        self.init = tuple(init)
+        self.final = tuple(final)
+
+    def seed_tests(self, k: int, seed: int) -> list[FiniteTest]:
+        """The initial corpus: *k* small tests (1×2, then 2×2 overflow).
+
+        Seeds are deliberately minimal — one invocation per thread — so
+        the campaign's early phase-1 bills are trivial and dimension is
+        only grown by mutation when the coverage signal warrants it.
+        """
+        cols = min(2, self.max_cols)
+        seeds = sample_tests(
+            self.alphabet, 1, cols, k, seed=seed,
+            init=self.init, final=self.final,
+        )
+        if len(seeds) < k and self.max_rows >= 2:
+            extra = sample_tests(
+                self.alphabet, 2, cols, k - len(seeds), seed=seed,
+                init=self.init, final=self.final,
+            )
+            known = {test.columns for test in seeds}
+            seeds.extend(t for t in extra if t.columns not in known)
+        return seeds[:k]
+
+    def mutate(
+        self,
+        parent: FiniteTest,
+        rng: random.Random,
+        pool: Sequence[FiniteTest] = (),
+    ) -> "tuple[FiniteTest, str] | None":
+        """One mutated child of *parent*, or None if every attempt failed.
+
+        Draws operators from *rng* until one produces a test different
+        from the parent; *pool* supplies splice partners.  Purely a
+        function of its arguments — no global state, no wall clock.
+        """
+        ops = list(MUTATION_OPS) if pool else [
+            op for op in MUTATION_OPS if op != "splice"
+        ]
+        for _ in range(_MAX_ATTEMPTS):
+            op = rng.choice(ops)
+            columns = [list(col) for col in parent.columns]
+            mutated = getattr(self, f"_{op}")(columns, rng, pool)
+            if mutated is None:
+                continue
+            candidate = FiniteTest.of(mutated, init=self.init, final=self.final)
+            if candidate != parent:
+                return candidate, op
+        return None
+
+    # -- operators (each takes mutable columns, returns columns or None) --
+
+    def _add(self, columns, rng, pool):
+        choices = []
+        if len(columns) < self.max_cols:
+            choices.append(None)  # open a new column
+        choices.extend(
+            i for i, col in enumerate(columns) if len(col) < self.max_rows
+        )
+        if not choices:
+            return None
+        where = rng.choice(choices)
+        invocation = rng.choice(self.alphabet)
+        if where is None:
+            columns.insert(rng.randrange(len(columns) + 1), [invocation])
+        else:
+            columns[where].insert(
+                rng.randrange(len(columns[where]) + 1), invocation
+            )
+        return columns
+
+    def _remove(self, columns, rng, pool):
+        positions = [
+            (c, i) for c, col in enumerate(columns) for i in range(len(col))
+        ]
+        if len(positions) <= 1:
+            return None
+        col, row = rng.choice(positions)
+        del columns[col][row]
+        kept = [col for col in columns if col]
+        return kept or None
+
+    def _swap(self, columns, rng, pool):
+        positions = [
+            (c, i) for c, col in enumerate(columns) for i in range(len(col))
+        ]
+        if len(positions) < 2:
+            return None
+        (c1, r1), (c2, r2) = rng.sample(positions, 2)
+        columns[c1][r1], columns[c2][r2] = columns[c2][r2], columns[c1][r1]
+        return columns
+
+    def _replace(self, columns, rng, pool):
+        positions = [
+            (c, i) for c, col in enumerate(columns) for i in range(len(col))
+        ]
+        if not positions:
+            return None
+        col, row = rng.choice(positions)
+        columns[col][row] = rng.choice(self.alphabet)
+        return columns
+
+    def _splice(self, columns, rng, pool):
+        if not pool:
+            return None
+        other = rng.choice(list(pool))
+        width = min(self.max_cols, max(len(columns), other.n_threads))
+        spliced = []
+        for index in range(width):
+            mine = columns[index] if index < len(columns) else None
+            theirs = (
+                list(other.columns[index])
+                if index < other.n_threads
+                else None
+            )
+            pick = theirs if (mine is None or rng.random() < 0.5) else mine
+            if pick is None:
+                pick = mine
+            if pick:
+                spliced.append(list(pick)[: self.max_rows])
+        return spliced or None

@@ -36,6 +36,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.core.verdict import worst_verdict
 from repro.live.chaos import ChaosConfig, ChaosTransport, SutKiller
 from repro.live.recorder import LiveRecorder
 from repro.live.session import (
@@ -258,15 +259,15 @@ def run_live(
             break
     result.monitor = verdict
 
-    # Verdict precedence: FAIL > CRASHED > EXHAUSTED > PASS.
+    # One verdict per independent observation; the shared lattice merges.
+    verdicts = ["PASS"]
     if verdict is not None and not verdict.ok:
-        result.verdict = "FAIL"
-    elif died and not expected_kill:
-        result.verdict = "CRASHED"
-    elif exhausted:
-        result.verdict = "EXHAUSTED"
-    else:
-        result.verdict = "PASS"
+        verdicts.append("FAIL")
+    if died and not expected_kill:
+        verdicts.append("CRASHED")
+    if exhausted:
+        verdicts.append("EXHAUSTED")
+    result.verdict = worst_verdict(verdicts)
     return result
 
 

@@ -23,6 +23,7 @@ from repro.reduction.dependence import (
     step_footprints,
 )
 from repro.reduction.fingerprint import (
+    FingerprintError,
     FingerprintSet,
     execution_fingerprint,
     serial_fingerprint,
@@ -31,6 +32,7 @@ from repro.reduction.strategies import DPORStrategy, SleepSetStrategy
 
 __all__ = [
     "DPORStrategy",
+    "FingerprintError",
     "FingerprintSet",
     "HISTORY_LOCATION",
     "SleepSetStrategy",

@@ -35,10 +35,35 @@ from repro.reduction.dependence import (
 from repro.runtime.scheduler import ExecutionOutcome
 
 __all__ = [
+    "FingerprintError",
     "FingerprintSet",
     "execution_fingerprint",
     "serial_fingerprint",
 ]
+
+
+class FingerprintError(Exception):
+    """A fingerprint snapshot could not be parsed or validated.
+
+    The named-error mirror of :class:`repro.core.checkpoint.CheckpointError`:
+    a corrupt digest list restored from a checkpoint or corpus file raises
+    this instead of whatever ``TypeError``/``AttributeError`` the corruption
+    happens to trip, so callers can catch one exception at the load site.
+    """
+
+
+#: Digests are truncated sha256 hexdigests (see :func:`_digest`).
+_DIGEST_CHARS = frozenset("0123456789abcdef")
+
+
+def _validate_digest(digest: object) -> str:
+    if not isinstance(digest, str):
+        raise FingerprintError(
+            f"fingerprint digests must be strings, got {type(digest).__name__}"
+        )
+    if not digest or len(digest) > 64 or not _DIGEST_CHARS.issuperset(digest):
+        raise FingerprintError(f"malformed fingerprint digest {digest!r}")
+    return digest
 
 
 def _digest(parts: Iterable[str]) -> str:
@@ -145,6 +170,18 @@ class FingerprintSet:
     def __len__(self) -> int:
         return len(self._digests)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FingerprintSet):
+            return NotImplemented
+        return self._digests == other._digests
+
+    def issubset(self, other: "FingerprintSet | Iterable[str]") -> bool:
+        """True when every digest here is also in *other*."""
+        digests = (
+            other._digests if isinstance(other, FingerprintSet) else set(other)
+        )
+        return self._digests <= digests
+
     def snapshot(self) -> list[str]:
         return sorted(self._digests)
 
@@ -174,4 +211,15 @@ class FingerprintSet:
 
     @classmethod
     def from_snapshot(cls, digests: Iterable[str] | None) -> "FingerprintSet":
-        return cls(digests or ())
+        """Restore a :meth:`snapshot`; corrupt input raises
+        :class:`FingerprintError` instead of a raw exception."""
+        if digests is None:
+            return cls()
+        if isinstance(digests, (str, bytes)) or not hasattr(
+            digests, "__iter__"
+        ):
+            raise FingerprintError(
+                "a fingerprint snapshot must be a list of digests, "
+                f"not {type(digests).__name__}"
+            )
+        return cls(_validate_digest(digest) for digest in digests)

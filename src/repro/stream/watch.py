@@ -37,6 +37,8 @@ import os
 import time
 from dataclasses import dataclass, field, replace
 
+from repro.core.verdict import VERDICT_PRECEDENCE as _VERDICT_PRECEDENCE
+from repro.core.verdict import worst_verdict
 from repro.monitor.models import SequentialModel, get_model
 from repro.monitor.trace import TraceError
 from repro.stream.engine import PartitionUnsound, StreamChecker
@@ -56,17 +58,15 @@ __all__ = [
 #: Shard-internal verdict: a global op made per-key sharding unsound.
 UNSOUND_PARTITION = "UNSOUND-PARTITION"
 
-#: Most-severe-first merge order for shard verdicts.
-VERDICT_PRECEDENCE = ("FAIL", "CRASHED", "LAGGED", "EXHAUSTED", "PASS")
+#: Most-severe-first merge order for shard verdicts — the global lattice
+#: of :mod:`repro.core.verdict` (shards never produce the verdicts the
+#: extra entries name, so the merge is unchanged).
+VERDICT_PRECEDENCE = _VERDICT_PRECEDENCE
 
 
 def merge_verdicts(verdicts) -> str:
     """The most severe verdict present, under :data:`VERDICT_PRECEDENCE`."""
-    pool = set(verdicts)
-    for verdict in VERDICT_PRECEDENCE:
-        if verdict in pool:
-            return verdict
-    return "PASS"
+    return worst_verdict(verdicts)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,1 @@
+"""Tests for the coverage-guided generation subsystem (repro.generate)."""

@@ -1,0 +1,94 @@
+"""Corpus energy scheduling and crash-safe (de)serialization."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.checkpoint import CheckpointError
+from repro.core.events import Invocation
+from repro.core.testcase import FiniteTest
+from repro.generate import Corpus, CorpusEntry
+
+
+def _test(method: str) -> FiniteTest:
+    return FiniteTest.of([[Invocation(method, ())]])
+
+
+class TestEnergy:
+    def test_fresh_productive_entry_outweighs_fresh_barren_one(self):
+        productive = CorpusEntry(_test("A"), new_classes=5, last_new=10)
+        barren = CorpusEntry(_test("B"), new_classes=0, last_new=10)
+        assert productive.energy(now=10) > barren.energy(now=10)
+
+    def test_decays_with_age_but_never_reaches_zero(self):
+        entry = CorpusEntry(_test("A"), new_classes=3, last_new=0)
+        energies = [entry.energy(now) for now in (0, 10, 100, 1000)]
+        assert energies == sorted(energies, reverse=True)
+        assert energies[-1] > 0.0
+
+    def test_child_credit_refreshes_energy(self):
+        corpus = Corpus()
+        position = corpus.add(_test("A"), new_classes=1, now=0)
+        stale = corpus.entries[position].energy(now=50)
+        corpus.credit(position, new_classes=2, now=50)
+        assert corpus.entries[position].energy(now=50) > stale
+        assert corpus.entries[position].children_new == 2
+
+
+class TestSelect:
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            Corpus().select(random.Random(0), now=0)
+
+    def test_deterministic_for_a_seeded_rng(self):
+        corpus = Corpus()
+        for i, method in enumerate("ABCD"):
+            corpus.add(_test(method), new_classes=i, now=i)
+        draws_a = [corpus.select(random.Random(s), now=10) for s in range(50)]
+        draws_b = [corpus.select(random.Random(s), now=10) for s in range(50)]
+        assert draws_a == draws_b
+
+    def test_energy_biases_the_draw(self):
+        corpus = Corpus()
+        corpus.add(_test("HOT"), new_classes=20, now=99)
+        corpus.add(_test("COLD"), new_classes=0, now=0)
+        rng = random.Random(1)
+        draws = [corpus.select(rng, now=100) for _ in range(500)]
+        assert draws.count(0) > 2 * draws.count(1)
+        assert draws.count(1) > 0  # stale entries keep a tail of energy
+
+
+class TestPersistence:
+    def _corpus(self) -> Corpus:
+        corpus = Corpus()
+        corpus.add(_test("A"), new_classes=2, now=1)
+        position = corpus.add(_test("B"), new_classes=1, now=3)
+        corpus.credit(position, new_classes=4, now=7)
+        return corpus
+
+    def test_roundtrip_through_json(self):
+        corpus = self._corpus()
+        restored = Corpus.from_state(json.loads(json.dumps(corpus.to_state())))
+        assert restored.to_state() == corpus.to_state()
+        assert restored.tests() == corpus.tests()
+
+    def test_none_restores_empty(self):
+        assert len(Corpus.from_state(None)) == 0
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            "junk",
+            b"junk",
+            {"not": "a list"},
+            [{"test": 42}],
+            [{"no_test_key": True}],
+            [{"test": {"columns": [[{"method": "A"}]]}, "new_classes": "x"}],
+        ],
+    )
+    def test_corrupt_state_raises_checkpoint_error(self, corrupt):
+        with pytest.raises(CheckpointError, match="generate corpus"):
+            Corpus.from_state(corrupt)

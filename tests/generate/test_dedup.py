@@ -1,0 +1,99 @@
+"""Root-cause bucketing: one bug reported once, not once per schedule."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.core.checker import NO_FULL_WITNESS, NO_STUCK_WITNESS, NONDETERMINISTIC
+from repro.core.checkpoint import test_from_dict as _test_from_dict
+from repro.core.events import Invocation
+from repro.core.testcase import FiniteTest
+from repro.generate import failure_record, root_cause_fingerprint
+
+
+def _op(method: str) -> SimpleNamespace:
+    return SimpleNamespace(invocation=Invocation(method, ()))
+
+
+def _violation(
+    kind: str = NO_FULL_WITNESS,
+    methods: tuple[str, ...] = ("Value", "ToString"),
+    pending: str | None = None,
+    nondeterminism: str | None = None,
+) -> SimpleNamespace:
+    return SimpleNamespace(
+        kind=kind,
+        history=SimpleNamespace(operations=[_op(m) for m in methods]),
+        pending_op=_op(pending) if pending else None,
+        nondeterminism=(
+            SimpleNamespace(invocation=Invocation(nondeterminism, ()))
+            if nondeterminism
+            else None
+        ),
+        describe=lambda: "description",
+    )
+
+
+class TestRootCauseFingerprint:
+    def test_rediscoveries_share_a_bucket(self):
+        # The same race reached through a bigger matrix, more schedules,
+        # or duplicated invocations is still one bug: the fingerprint
+        # keys on the method *set*, not multiplicities or shape.
+        a = _violation(methods=("Value", "ToString"))
+        b = _violation(methods=("ToString", "Value", "Value", "ToString"))
+        assert root_cause_fingerprint(a, "Lazy(pre)") == root_cause_fingerprint(
+            b, "Lazy(pre)"
+        )
+
+    def test_kind_separates_buckets(self):
+        full = _violation(kind=NO_FULL_WITNESS)
+        stuck = _violation(kind=NO_STUCK_WITNESS, pending="Value")
+        assert root_cause_fingerprint(full, "S") != root_cause_fingerprint(
+            stuck, "S"
+        )
+
+    def test_subject_separates_buckets(self):
+        v = _violation()
+        assert root_cause_fingerprint(v, "Lazy(pre)") != root_cause_fingerprint(
+            v, "Lazy(beta)"
+        )
+
+    def test_method_set_separates_buckets(self):
+        a = _violation(methods=("Value",))
+        b = _violation(methods=("Value", "IsValueCreated"))
+        assert root_cause_fingerprint(a, "S") != root_cause_fingerprint(b, "S")
+
+    def test_pending_op_separates_blocking_buckets(self):
+        a = _violation(kind=NO_STUCK_WITNESS, pending="Wait")
+        b = _violation(kind=NO_STUCK_WITNESS, pending="Signal")
+        assert root_cause_fingerprint(a, "S") != root_cause_fingerprint(b, "S")
+
+    def test_nondeterminism_witness_is_part_of_the_bucket(self):
+        a = SimpleNamespace(
+            kind=NONDETERMINISTIC,
+            history=None,
+            pending_op=None,
+            nondeterminism=SimpleNamespace(invocation=Invocation("Get", ())),
+            describe=lambda: "d",
+        )
+        b = SimpleNamespace(
+            kind=NONDETERMINISTIC,
+            history=None,
+            pending_op=None,
+            nondeterminism=SimpleNamespace(invocation=Invocation("Put", ())),
+            describe=lambda: "d",
+        )
+        assert root_cause_fingerprint(a, "S") != root_cause_fingerprint(b, "S")
+
+
+class TestFailureRecord:
+    def test_carries_a_reproducible_test(self):
+        test = FiniteTest.of([[Invocation("Value", ())], [Invocation("ToString", ())]])
+        record = failure_record(_violation(), "Lazy(pre)", test)
+        assert record["fingerprint"] == root_cause_fingerprint(
+            _violation(), "Lazy(pre)"
+        )
+        assert record["kind"] == NO_FULL_WITNESS
+        assert record["description"] == "description"
+        assert record["matrix"] == str(test)
+        assert _test_from_dict(record["test"]) == test
